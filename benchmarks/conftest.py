@@ -1,0 +1,26 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation at reduced (but shape-preserving) scale, writes the data table
+to ``benchmarks/results/<name>.txt``, and attaches headline numbers to the
+pytest-benchmark report via ``extra_info``.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_result(name, text):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture
+def save():
+    return save_result

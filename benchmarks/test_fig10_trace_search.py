@@ -1,0 +1,49 @@
+"""Figure 10: visualization of Apophenia finding traces in S3D over time.
+
+For each task launched by S3D (70 iterations), the percent of the
+preceding window of tasks that were traced. Expected shape: near zero
+during startup, a steep climb as traces are discovered, then a high
+steady state that does not regress (and creeps up as better trace sets
+are found)."""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.trace_search import trace_search_timeline
+
+
+@pytest.mark.benchmark(group="fig10", min_rounds=1, max_time=1)
+def test_fig10_s3d_trace_search(benchmark, save):
+    series, run = benchmark.pedantic(
+        trace_search_timeline,
+        kwargs=dict(iterations=70, gpus=4, window=5000, task_scale=0.2),
+        rounds=1,
+        iterations=1,
+    )
+    n = len(series)
+    # Downsample to ~40 rows for the saved table.
+    step = max(1, n // 40)
+    rows = [[i, f"{series[i]:.1f}"] for i in range(0, n, step)]
+    save(
+        "fig10",
+        format_table(
+            ["task index", "% of window traced"],
+            rows,
+            title="fig10: percent of preceding task window traced (S3D)",
+        ),
+    )
+
+    startup = series[: n // 20]
+    # Steady window excludes the final ~10% (end-of-run flush drains the
+    # last buffered match untraced, which is not steady-state behaviour).
+    steady = series[int(n * 0.70) : int(n * 0.90)]
+    benchmark.extra_info["startup_mean"] = round(sum(startup) / len(startup), 1)
+    benchmark.extra_info["steady_mean"] = round(sum(steady) / len(steady), 1)
+
+    # Figure 10 shape: startup untraced, steady state highly traced.
+    assert sum(startup) / len(startup) < sum(steady) / len(steady) - 30
+    assert sum(steady) / len(steady) > 70
+    # (The paper additionally observes coverage creeping *up* late in the
+    # run as a better trace set is found; our replayer instead holds a
+    # steady plateau with small periodic dips at trace boundaries --
+    # recorded as a fidelity delta in EXPERIMENTS.md.)

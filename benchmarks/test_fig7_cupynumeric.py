@@ -1,0 +1,65 @@
+"""Figures 7a and 7b: weak scaling of the cuPyNumeric applications (CFD
+and TorchSWE) on Eos.
+
+These applications have no manually traced version (Section 2's
+composition problem), so the comparison is Apophenia vs untraced, which is
+the performance cuPyNumeric users get today. Claims reproduced:
+
+* Apophenia yields up to ~2.6x (CFD) and ~2.8x (TorchSWE) speedups;
+* untraced throughput falls off at scale; traced stays high;
+* for TorchSWE no problem size hides runtime overhead without tracing.
+"""
+
+import pytest
+
+from repro.experiments.report import format_weak_scaling
+from repro.experiments.weak_scaling import (
+    WEAK_SCALING_FIGURES,
+    speedup_ranges,
+    weak_scaling,
+)
+
+GPUS = (1, 8, 64)
+
+
+def run_figure(fig, iterations, warmup, task_scale, save):
+    spec = WEAK_SCALING_FIGURES[fig]
+    spec = type(spec)(
+        spec.figure, spec.app, spec.machine, GPUS, spec.modes,
+        iterations, warmup, task_scale,
+    )
+    results = weak_scaling(
+        spec, sizes=("s", "m", "l"),
+        iterations=iterations, warmup=warmup, task_scale=task_scale,
+    )
+    save(fig, format_weak_scaling(results, fig))
+    return results
+
+
+@pytest.mark.benchmark(group="fig7", min_rounds=1, max_time=1)
+def test_fig7a_cfd_weak_scaling(benchmark, save):
+    results = benchmark.pedantic(
+        run_figure, args=("fig7a", 130, 90, 0.4, save), rounds=1, iterations=1
+    )
+    lo, hi = speedup_ranges(results, "untraced")
+    benchmark.extra_info["auto/untraced"] = f"{lo:.2f}x-{hi:.2f}x (paper 0.92-2.64)"
+    assert hi > 1.5
+    # Untraced falls off at scale on the small size.
+    untraced_s = results[("untraced", "s")]
+    assert untraced_s[64] < untraced_s[1]
+
+
+@pytest.mark.benchmark(group="fig7", min_rounds=1, max_time=1)
+def test_fig7b_torchswe_weak_scaling(benchmark, save):
+    results = benchmark.pedantic(
+        run_figure, args=("fig7b", 110, 70, 0.5, save), rounds=1, iterations=1
+    )
+    lo, hi = speedup_ranges(results, "untraced")
+    benchmark.extra_info["auto/untraced"] = f"{lo:.2f}x-{hi:.2f}x (paper 0.91-2.82)"
+    assert hi > 1.5
+    # The paper's TorchSWE claim: even the large problem size exposes
+    # untraced runtime overhead -- tracing wins at every size.
+    for size in ("s", "m", "l"):
+        auto = results[("auto", size)]
+        untraced = results[("untraced", size)]
+        assert auto[64] > untraced[64], f"size {size}"

@@ -1,0 +1,62 @@
+"""Walk through the paper's string machinery on concrete inputs.
+
+1. Algorithm 2 on the Figure 4 string "aabcbcbaa" -> {aa, bc}.
+2. The Figure 2 optimization problem: coverage of the invalid,
+   sub-optimal, and optimal matchings.
+3. Why tandem repeats and LZW are not enough (Section 4.2), on a loop
+   stream with convergence checks.
+4. The Figure 5 ruler-function sampling schedule.
+
+Run:  python examples/algorithm2_walkthrough.py
+"""
+
+from repro.analysis.lzw import find_repeats_lzw
+from repro.analysis.tandem import find_tandem_repeats
+from repro.core.coverage import coverage, figure2_example, is_valid_matching
+from repro.core.repeats import covered_tokens, find_repeats
+from repro.core.sampler import ruler_powers
+
+
+def figure4():
+    print("Figure 4: FindRepeats('aabcbcbaa')")
+    for repeat in find_repeats("aabcbcbaa"):
+        print(f"  {''.join(repeat.tokens)!r} at positions {repeat.positions}")
+
+
+def figure2():
+    print("\nFigure 2: the trace-coverage optimization problem")
+    sequence, _traces, invalid, suboptimal, optimal = figure2_example()
+    ok, reason = is_valid_matching(sequence, invalid)
+    print(f"  invalid matching rejected: {reason}")
+    print(f"  sub-optimal matching coverage: {coverage(suboptimal)} / {len(sequence)}")
+    print(f"  optimal matching coverage:     {coverage(optimal)} / {len(sequence)}")
+
+
+def baselines():
+    print("\nSection 4.2: why existing techniques fall short")
+    body = [f"task{i}" for i in range(8)]
+    stream = []
+    for rep in range(6):
+        stream.extend(body)
+        if rep % 2 == 0:
+            stream.append(f"check_{rep}")  # irregular: different each time
+    total = len(stream)
+    for name, finder in (
+        ("Algorithm 2", find_repeats),
+        ("tandem repeats", find_tandem_repeats),
+        ("LZW", find_repeats_lzw),
+    ):
+        cov = covered_tokens(finder(stream, 8))
+        print(f"  {name:15s} covers {cov:3d} / {total} tokens")
+
+
+def figure5():
+    print("\nFigure 5: ruler-function sampling (buffer of 8)")
+    print(f"  slice sizes: {ruler_powers(8)}")
+
+
+if __name__ == "__main__":
+    figure4()
+    figure2()
+    baselines()
+    figure5()

@@ -1,0 +1,45 @@
+"""CFD channel flow under Apophenia (the paper's Figure 7a application).
+
+Runs the cuPyNumeric-style Navier-Stokes solver in untraced and
+automatically traced modes at 64 simulated Eos GPUs (where the paper's
+untraced falloff appears), and reports the
+steady-state throughput of each -- the comparison cuPyNumeric users care
+about, since no manually traced version of this code can reasonably
+exist (Section 2).
+
+Run:  python examples/cfd_navier_stokes.py
+"""
+
+from repro.apps import build_app
+from repro.runtime.machine import EOS
+
+ITERATIONS = 160
+WARMUP = 110
+GPUS = 64
+
+
+def main():
+    print(f"CFD 2D channel flow, {GPUS} GPUs on {EOS.name}, size 's'")
+    results = {}
+    for mode in ("untraced", "auto"):
+        app = build_app(
+            "cfd", machine=EOS, gpus=GPUS, size="s", mode=mode,
+            task_scale=0.5,
+        )
+        runtime = app.run(ITERATIONS)
+        results[mode] = runtime.throughput(WARMUP, ITERATIONS - 15)
+        line = f"  {mode:9s} {results[mode]:7.2f} it/s"
+        if mode == "auto":
+            line += (
+                f"   ({runtime.traced_fraction():.0%} of tasks traced, "
+                f"{runtime.engine.traces_recorded} traces recorded, "
+                f"{runtime.engine.traces_replayed} replays)"
+            )
+        print(line)
+    speedup = results["auto"] / results["untraced"]
+    print(f"  speedup: {speedup:.2f}x (paper reports 0.92x-2.64x across the sweep)")
+    assert speedup > 1.2
+
+
+if __name__ == "__main__":
+    main()

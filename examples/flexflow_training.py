@@ -1,0 +1,32 @@
+"""FlexFlow/CANDLE pilot1 strong scaling (the paper's Figure 8).
+
+Sweeps GPU counts for the four configurations of Section 6.2 --
+untraced, manually traced, auto-5000 (no maximum trace length), and
+auto-200 (maximum 200, like the manual trace) -- and prints the speedup
+table. The long-replay issuance nonideality (footnote 5) is injected via
+the Figure 8 cost model; see EXPERIMENTS.md.
+
+Run:  python examples/flexflow_training.py
+"""
+
+from repro.experiments.report import format_speedups
+from repro.experiments.strong_scaling import flexflow_strong_scaling
+
+
+def main():
+    speedups, raw = flexflow_strong_scaling(
+        gpu_counts=(1, 4, 16, 32), iterations=150, warmup=100
+    )
+    print(format_speedups(speedups, "FlexFlow speedup vs untraced @ 1 GPU"))
+    at32 = {label: series[32] for label, series in speedups.items()}
+    print()
+    print(f"auto-200 / manual  @32 GPUs: {at32['auto-200'] / at32['manual']:.2f}x"
+          "  (paper: 0.97x)")
+    print(f"auto-200 / untraced@32 GPUs: {at32['auto-200'] / at32['untraced']:.2f}x"
+          "  (paper: 1.5x)")
+    print(f"auto-5000 trails auto-200: "
+          f"{at32['auto-5000'] / at32['auto-200']:.2f}x  (long replays exposed)")
+
+
+if __name__ == "__main__":
+    main()

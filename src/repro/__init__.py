@@ -1,0 +1,40 @@
+"""repro: a reproduction of "Automatic Tracing in Task-Based Runtime Systems".
+
+This package reimplements, in pure Python, the Apophenia automatic tracing
+system (ASPLOS 2025) together with every substrate it depends on:
+
+* :mod:`repro.runtime` -- a Legion-like task-based runtime with logical
+  regions, a dynamic dependence analysis, a trace memoization engine, and a
+  virtual-time pipeline cost model calibrated to the paper's measurements.
+* :mod:`repro.core` -- Apophenia itself: task hashing, the suffix-array based
+  non-overlapping repeated substring algorithm (Algorithm 2), the candidate
+  trie and trace replayer, multi-scale buffer sampling, and the distributed
+  ingestion agreement protocol.
+* :mod:`repro.arrays` -- a miniature cuPyNumeric: a deferred NumPy-like array
+  library that translates array operations into runtime tasks and reuses
+  freed regions, reproducing the motivating example of the paper's Figure 1.
+* :mod:`repro.apps` -- task-stream models of the paper's five applications
+  (S3D, HTR, CFD, TorchSWE, FlexFlow) plus smaller teaching workloads.
+* :mod:`repro.analysis` -- baseline trace identification algorithms (LZW,
+  tandem repeats, quadratic suffix matching) used for ablation studies.
+* :mod:`repro.experiments` -- the harness that regenerates every figure and
+  table in the paper's evaluation section.
+"""
+
+from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.core.repeats import find_repeats
+from repro.runtime.runtime import Runtime
+from repro.runtime.machine import EOS, PERLMUTTER, MachineConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApopheniaConfig",
+    "ApopheniaProcessor",
+    "Runtime",
+    "MachineConfig",
+    "PERLMUTTER",
+    "EOS",
+    "find_repeats",
+    "__version__",
+]

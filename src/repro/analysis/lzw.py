@@ -1,0 +1,66 @@
+"""LZW-style repeat detection baseline (Section 4.2, "Existing Techniques").
+
+LZW builds a dictionary of phrases, extending a known phrase by a single
+token each time it is re-encountered. Used as a repeat finder, this means a
+repeated fragment of length n is only fully learned after roughly n
+occurrences -- far too slow for traces containing thousands of tasks, which
+is the paper's argument for a suffix-array approach.
+
+The finder runs the classic LZW phrase construction over the window and
+reports the phrases (length >= min_length) that were encountered at least
+``min_occurrences`` times, greedily assigning non-overlapping positions so
+the output is comparable to Algorithm 2's.
+"""
+
+from repro.core.repeats import Repeat
+
+
+def lzw_phrases(tokens):
+    """Run LZW phrase construction; returns ``{phrase: [start, ...]}``.
+
+    Phrases are the dictionary entries created while scanning, recorded at
+    every position where they were the longest known match.
+    """
+    dictionary = {}
+    occurrences = {}
+    i = 0
+    n = len(tokens)
+    while i < n:
+        # Longest known phrase starting at i.
+        j = i + 1
+        phrase = (tokens[i],)
+        while j < n:
+            extended = phrase + (tokens[j],)
+            if extended in dictionary:
+                phrase = extended
+                j += 1
+            else:
+                break
+        occurrences.setdefault(phrase, []).append(i)
+        if j < n:
+            dictionary[phrase + (tokens[j],)] = True
+        i = j if j > i else i + 1
+    return occurrences
+
+
+def find_repeats_lzw(tokens, min_length=1, min_occurrences=2):
+    """LZW baseline with Algorithm 2's interface."""
+    tokens = list(tokens)
+    occurrences = lzw_phrases(tokens)
+    covered = bytearray(len(tokens))
+    repeats = []
+    # Prefer long phrases, mirroring the greedy selection of Algorithm 2.
+    for phrase in sorted(occurrences, key=len, reverse=True):
+        if len(phrase) < min_length:
+            continue
+        kept = []
+        for pos in occurrences[phrase]:
+            end = pos + len(phrase)
+            if end <= len(tokens) and not (covered[pos] or covered[end - 1]):
+                kept.append(pos)
+                for k in range(pos, end):
+                    covered[k] = 1
+        if len(kept) >= min_occurrences:
+            repeats.append(Repeat(phrase, kept))
+    repeats.sort(key=lambda r: (-r.length, r.positions[0]))
+    return repeats

@@ -1,0 +1,61 @@
+"""Quadratic non-overlapping repeated substring baseline.
+
+The natural extension of suffix-tree repeated-substring algorithms to
+*non-overlapping* repeats is quadratic (Section 4.2): for every candidate
+length, scan the string for non-overlapping recurrences. This reference
+implementation is O(n^2) in the window size but makes locally optimal
+greedy choices very similar to Algorithm 2's, so it doubles as an output
+quality reference in the ablation benchmarks.
+"""
+
+from repro.core.repeats import Repeat
+
+
+def find_repeats_quadratic(tokens, min_length=1, min_occurrences=2):
+    """Greedy longest-first non-overlapping repeat search, O(n^2) time."""
+    tokens = list(tokens)
+    n = len(tokens)
+    covered = bytearray(n)
+    selected = {}
+
+    # For each start position, the longest repeated substring beginning
+    # there, computed by dynamic programming on pairwise common prefixes:
+    # match[i][j] = longest common prefix of suffixes i and j.
+    longest = [0] * n
+    prev = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        cur = [0] * (n + 1)
+        for j in range(n - 1, i, -1):
+            if tokens[i] == tokens[j]:
+                common = prev[j + 1] + 1
+                cur[j] = common
+                # Non-overlap limits the usable length to the gap.
+                usable = min(common, j - i)
+                if usable > longest[i]:
+                    longest[i] = usable
+                if usable > longest[j]:
+                    longest[j] = usable
+        prev = cur
+
+    order = sorted(range(n), key=lambda i: (-longest[i], i))
+    for start in order:
+        length = longest[start]
+        while length >= min_length:
+            end = start + length
+            if end <= n and not (covered[start] or covered[end - 1]) and not any(
+                covered[start:end]
+            ):
+                key = tuple(tokens[start:end])
+                selected.setdefault(key, []).append(start)
+                for k in range(start, end):
+                    covered[k] = 1
+                break
+            length -= 1
+
+    repeats = [
+        Repeat(key, positions)
+        for key, positions in selected.items()
+        if len(positions) >= min_occurrences
+    ]
+    repeats.sort(key=lambda r: (-r.length, r.positions[0]))
+    return repeats

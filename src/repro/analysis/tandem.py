@@ -1,0 +1,84 @@
+"""Tandem repeat analysis baseline (Stoye & Gusfield; Sisco et al.).
+
+A *tandem repeat* is a substring alpha such that alpha^k (k >= 2) occurs
+contiguously. Sisco et al. used tandem repeats to re-roll loops in
+netlists; the paper found that real task streams rarely contain long
+tandem repeats because irregular operations (convergence checks,
+statistics) separate otherwise identical loop bodies.
+
+``tandem_repeats`` enumerates maximal primitive tandem runs in O(n^2)
+(sufficient for analysis windows); ``find_tandem_repeats`` adapts the
+output to Algorithm 2's interface.
+"""
+
+from repro.core.repeats import Repeat
+
+
+def tandem_repeats(tokens, min_period=1):
+    """Enumerate maximal tandem runs.
+
+    Returns a list of ``(start, period, repetitions)`` tuples where
+    ``tokens[start : start + period * repetitions]`` is ``alpha^k`` for the
+    period-length substring ``alpha``, ``k >= 2``, and the run cannot be
+    extended to the right. Runs that are contained in a longer run of a
+    smaller period at the same position are suppressed.
+    """
+    tokens = list(tokens)
+    n = len(tokens)
+    runs = []
+    seen_spans = set()
+    for period in range(min_period, n // 2 + 1):
+        start = 0
+        while start + 2 * period <= n:
+            # Count repetitions of tokens[start:start+period].
+            reps = 1
+            while (
+                start + (reps + 1) * period <= n
+                and tokens[start + reps * period : start + (reps + 1) * period]
+                == tokens[start : start + period]
+            ):
+                reps += 1
+            if reps >= 2:
+                span = (start, start + reps * period)
+                if span not in seen_spans:
+                    seen_spans.add(span)
+                    runs.append((start, period, reps))
+                start += reps * period - period + 1
+            else:
+                start += 1
+    return runs
+
+
+def find_tandem_repeats(tokens, min_length=1, min_occurrences=2):
+    """Tandem-repeat baseline with Algorithm 2's interface.
+
+    Each maximal run of alpha^k contributes alpha as a candidate repeat
+    with its k in-run positions; runs are consumed greedily longest-first
+    without overlap.
+    """
+    tokens = list(tokens)
+    runs = tandem_repeats(tokens)
+    covered = bytearray(len(tokens))
+    by_alpha = {}
+    # Prefer runs covering the most tokens.
+    for start, period, reps in sorted(
+        runs, key=lambda r: (-(r[1] * r[2]), r[0])
+    ):
+        if period < min_length:
+            continue
+        span_end = start + period * reps
+        if covered[start] or covered[span_end - 1]:
+            continue
+        alpha = tuple(tokens[start : start + period])
+        positions = by_alpha.setdefault(alpha, [])
+        for k in range(reps):
+            positions.append(start + k * period)
+        for k in range(start, span_end):
+            covered[k] = 1
+    repeats = [
+        Repeat(alpha, positions)
+        for alpha, positions in by_alpha.items()
+        if len(positions) >= min_occurrences
+    ]
+    repeats.sort(key=lambda r: (-r.length, r.positions[0]))
+    return repeats

@@ -1,0 +1,139 @@
+"""FlexFlow: distributed DNN training (Section 6.2, Figure 8).
+
+FlexFlow trains the largest (pilot1) network from the CANDLE initiative.
+Per the paper's footnote, the network is parallelized with data
+parallelism only, so each training step issues, per layer: forward tasks,
+backward tasks, a gradient all-reduce (communication), and a weight
+update. The manual trace covers one training step (~200 tasks), which is
+why the paper compares ``auto-200`` (max trace length 200) against
+``auto-5000`` (unbounded): Apophenia with no bound discovers multi-step
+traces whose replay issuance latency is exposed under strong scaling.
+
+This is a *strong* scaling study on Eos: the global batch is fixed, so
+per-GPU execution time shrinks as GPUs are added while analysis and
+communication costs do not.
+"""
+
+from repro.apps.base import Application, register_app
+from repro.runtime.privilege import Privilege
+from repro.runtime.task import RegionRequirement, Task
+
+
+@register_app
+class FlexFlow(Application):
+    name = "flexflow"
+    # One problem size: the pilot1 network with batch size 16384. The
+    # value is the per-task execution time at 1 GPU; strong scaling
+    # divides it by the GPU count.
+    sizes = {"s": 1.0e-2, "m": 1.0e-2, "l": 1.0e-2}
+    supports_manual = True
+
+    NUM_LAYERS = 28
+
+    def setup(self):
+        forest = self.runtime.forest
+        self.activations = [
+            forest.create_region((1 << 18,), name=f"ff_act{i}")
+            for i in range(self.NUM_LAYERS + 1)
+        ]
+        self.weights = [
+            forest.create_region((1 << 16,), name=f"ff_w{i}")
+            for i in range(self.NUM_LAYERS)
+        ]
+        self.gradients = [
+            forest.create_region((1 << 16,), name=f"ff_g{i}")
+            for i in range(self.NUM_LAYERS)
+        ]
+        self._trace_id = "ff_step"
+
+    @property
+    def step_task_time(self):
+        """Per-task execution time at the current GPU count (strong
+        scaling: fixed global batch divided across GPUs)."""
+        return self.task_time / max(1, self.config.gpus)
+
+    def allreduce_time(self):
+        """Gradient all-reduce per layer: bandwidth-bound ring cost, zero
+        on a single GPU."""
+        g = self.config.gpus
+        if g <= 1:
+            return 0.0
+        cm = self.cost_model
+        layer_bytes = 3.2e7  # pilot1 dense layers are large
+        ring = 2.0 * layer_bytes * (g - 1) / g / cm.comm_bandwidth
+        import math
+
+        return ring + cm.comm_base_latency * math.log2(g)
+
+    def _step_tasks(self):
+        tasks = []
+        t = self.step_task_time
+        for layer in range(self.NUM_LAYERS):
+            tasks.append(
+                Task(
+                    f"FWD_{layer}",
+                    [
+                        RegionRequirement(self.activations[layer], Privilege.READ_ONLY),
+                        RegionRequirement(self.weights[layer], Privilege.READ_ONLY),
+                        RegionRequirement(
+                            self.activations[layer + 1], Privilege.WRITE_DISCARD
+                        ),
+                    ],
+                    exec_cost=t,
+                )
+            )
+        for layer in reversed(range(self.NUM_LAYERS)):
+            tasks.append(
+                Task(
+                    f"BWD_DATA_{layer}",
+                    [
+                        RegionRequirement(self.activations[layer + 1], Privilege.READ_ONLY),
+                        RegionRequirement(self.weights[layer], Privilege.READ_ONLY),
+                        RegionRequirement(self.activations[layer], Privilege.READ_WRITE),
+                    ],
+                    exec_cost=t,
+                )
+            )
+            tasks.append(
+                Task(
+                    f"BWD_WEIGHT_{layer}",
+                    [
+                        RegionRequirement(self.activations[layer], Privilege.READ_ONLY),
+                        RegionRequirement(self.gradients[layer], Privilege.WRITE_DISCARD),
+                    ],
+                    exec_cost=t,
+                )
+            )
+            tasks.append(
+                Task(
+                    f"ALLREDUCE_{layer}",
+                    [RegionRequirement(self.gradients[layer], Privilege.READ_WRITE)],
+                    exec_cost=0.0,
+                    comm_cost=self.allreduce_time(),
+                )
+            )
+        for layer in range(self.NUM_LAYERS):
+            tasks.append(
+                Task(
+                    f"UPDATE_{layer}",
+                    [
+                        RegionRequirement(self.gradients[layer], Privilege.READ_ONLY),
+                        RegionRequirement(self.weights[layer], Privilege.READ_WRITE),
+                    ],
+                    exec_cost=t,
+                )
+            )
+        return tasks
+
+    @property
+    def tasks_per_step(self):
+        return self.NUM_LAYERS * 5
+
+    def iteration(self, index):
+        manual = self.config.mode == "manual"
+        if manual:
+            self.runtime.begin_trace(self._trace_id)
+        for task in self._step_tasks():
+            self.executor.execute_task(task)
+        if manual:
+            self.runtime.end_trace(self._trace_id)

@@ -1,0 +1,79 @@
+"""HTR: hypersonic aerothermodynamics solver (Section 6.1, Figure 6b).
+
+HTR performs multi-physics simulation of hypersonic flows (e.g. spacecraft
+reentry). Its Legion implementation is a regular iterative solver: every
+iteration issues the same flux/chemistry/integration task sequence over
+persistent fields, with halo exchanges, plus a periodic I/O-statistics
+fragment. Compared to S3D it has fewer, larger tasks per iteration and the
+manually traced version wraps the full step.
+
+Weak scaling is evaluated on Perlmutter at sizes s/m/l.
+"""
+
+from repro.apps.base import Application, register_app
+from repro.runtime.privilege import Privilege
+from repro.runtime.task import RegionRequirement, Task
+
+
+@register_app
+class HTR(Application):
+    name = "htr"
+    sizes = {"s": 1.2e-4, "m": 3.5e-4, "l": 1.1e-3}
+    supports_manual = True
+
+    STATS_PERIOD = 20  # statistics fragment every N iterations
+
+    def setup(self):
+        forest = self.runtime.forest
+        self.fields = [
+            forest.create_region((1 << 19,), name=f"htr_field{i}")
+            for i in range(10)
+        ]
+        self.stats_region = forest.create_region((1 << 10,), name="htr_stats")
+        self.tasks_per_iter = self.scaled(320)
+        self._trace_id = "htr_step"
+
+    def _step_tasks(self):
+        tasks = []
+        nfields = len(self.fields)
+        for j in range(self.tasks_per_iter):
+            src = self.fields[j % nfields]
+            dst = self.fields[(j * 3 + 1) % nfields]
+            comm = self.comm_time(1 << 18) if j % 23 == 0 else 0.0
+            tasks.append(
+                Task(
+                    f"HTR_{j % 13}",
+                    [
+                        RegionRequirement(src, Privilege.READ_ONLY),
+                        RegionRequirement(dst, Privilege.READ_WRITE),
+                    ],
+                    exec_cost=self.task_time,
+                    comm_cost=comm,
+                )
+            )
+        return tasks
+
+    def _stats_tasks(self):
+        return [
+            Task(
+                "HTR_STATS",
+                [
+                    RegionRequirement(self.fields[0], Privilege.READ_ONLY),
+                    RegionRequirement(self.stats_region, Privilege.READ_WRITE),
+                ],
+                exec_cost=self.task_time,
+            )
+            for _ in range(self.scaled(6))
+        ]
+
+    def iteration(self, index):
+        manual = self.config.mode == "manual"
+        if manual:
+            self.runtime.begin_trace(self._trace_id)
+        for task in self._step_tasks():
+            self.executor.execute_task(task)
+        if manual:
+            self.runtime.end_trace(self._trace_id)
+        if index % self.STATS_PERIOD == 0:
+            for task in self._stats_tasks():
+                self.executor.execute_task(task)

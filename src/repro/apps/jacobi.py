@@ -1,0 +1,52 @@
+"""The paper's Figure 1 motivating example: Jacobi iteration.
+
+The cuPyNumeric program::
+
+    x = np.zeros(A.shape[1])
+    d = np.diag(A)
+    R = A - np.diag(d)
+    for i in range(iters):
+        x = (b - np.dot(R, x)) / d
+
+looks like it should be traced around the loop body, but the loop-carried
+variable ``x`` alternates between two pool regions (the output of the DIV
+is always allocated from the pool, and the old ``x`` is freed mid-
+iteration), so iteration i+1 issues a *different* task sequence than
+iteration i and the natural annotation is invalid. The steady state
+repeats with period two.
+
+``jacobi_task_stream`` runs the real array program; ``figure1_stream``
+produces the paper's exact DOT/SUB/DIV token stream for tests.
+"""
+
+from repro.arrays.array import ArrayContext
+
+
+def jacobi_task_stream(executor, forest, iterations, n=64, numeric=False, seed=0):
+    """Run the Figure 1a program; returns ``(ctx, x)``.
+
+    ``executor`` is a runtime or an Apophenia processor; ``forest`` is the
+    backing region forest.
+    """
+    ctx = ArrayContext(executor, forest, numeric=numeric)
+    a = ctx.random((n, n), seed=seed, name="A")
+    b = ctx.random((n,), seed=seed + 1, name="b")
+    x = ctx.zeros((n,), name="x")
+    d = a.diag()
+    r = a - d.diag()
+    for _ in range(iterations):
+        x = (b - r.dot(x)) / d
+    return ctx, x
+
+
+def figure1_stream(iterations):
+    """The unrolled main-loop stream of Figure 1b, as (name, regions)
+    tuples with the alternating x1/x2 binding made explicit."""
+    stream = []
+    for i in range(iterations):
+        xin = "x1" if i % 2 == 0 else "x2"
+        xout = "x2" if i % 2 == 0 else "x1"
+        stream.append(("DOT", ("R", xin, "t1")))
+        stream.append(("SUB", ("b", "t1", "t2")))
+        stream.append(("DIV", ("t2", "d", xout)))
+    return stream

@@ -1,0 +1,22 @@
+"""A miniature cuPyNumeric: deferred NumPy-like arrays on the runtime.
+
+cuPyNumeric [7] distributes NumPy by translating array operations into
+Legion tasks; every ndarray is backed by a logical region. Two behaviours
+of that translation matter for this paper and are reproduced faithfully:
+
+* **every operation produces a task launch** whose region arguments
+  (inputs read-only, output write-discard) drive the dependence analysis;
+* **freed regions are immediately reused** (a LIFO pool), which is what
+  makes the natural "trace the loop body" annotation of the paper's
+  Figure 1 invalid: the Python variable ``x`` alternates between two
+  regions, so the task stream only repeats with period two.
+
+The layer optionally executes operations numerically with ``numpy`` so the
+examples produce real physics; the virtual-time cost model is independent
+of the numeric backend.
+"""
+
+from repro.arrays.allocator import RegionPool
+from repro.arrays.array import ArrayContext, NDArray
+
+__all__ = ["ArrayContext", "NDArray", "RegionPool"]

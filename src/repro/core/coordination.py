@@ -1,0 +1,66 @@
+"""Distributed ingestion agreement (Section 5.1).
+
+Under dynamic control replication every node runs the application and must
+issue the *same* sequence of operations to Legion -- including Apophenia's
+trace begin/end operations. The only source of non-determinism in
+Apophenia is the completion time of the asynchronous buffer analyses: a
+fast node could ingest candidates (and start replaying a trace) before a
+slow node has even finished mining.
+
+The paper's protocol: all nodes agree on a *count of processed operations*
+at which each analysis's results will be ingested. If any node reaches the
+agreed count before its local copy of the analysis has completed, it must
+wait -- and all nodes then increase the agreed margin for subsequent
+analyses, reaching a steady state where results are ingested
+deterministically without stalling.
+
+:class:`IngestCoordinator` is the shared agreement object (standing in for
+the collective communication a real implementation would use). Each node
+registers its job completion estimates; the coordinator hands out a single
+agreed ingest operation count per job index.
+"""
+
+
+class IngestCoordinator:
+    """Agreement on per-job ingestion points across replicated nodes.
+
+    Parameters
+    ----------
+    initial_margin_ops:
+        Starting margin (operations after submission) at which analysis
+        results are ingested.
+    growth_factor:
+        Multiplier applied to the margin whenever any node had to wait.
+    """
+
+    def __init__(self, initial_margin_ops=128, growth_factor=2.0):
+        self.margin_ops = initial_margin_ops
+        self.growth_factor = growth_factor
+        # job_index -> agreed ingest op count (fixed at submission time).
+        self._agreed = {}
+        self.waits = 0
+
+    def agree(self, job_index, submitted_at_op):
+        """Fix (or look up) the agreed ingest point for ``job_index``.
+
+        All nodes submit job ``job_index`` at the same operation count (the
+        sampling schedule is deterministic), so the first node to call this
+        fixes the agreement and the rest observe the same value.
+        """
+        agreed = self._agreed.get(job_index)
+        if agreed is None:
+            agreed = submitted_at_op + self.margin_ops
+            self._agreed[job_index] = agreed
+        return agreed
+
+    def report_wait(self, job_index, lateness_ops):
+        """A node reached the ingest point before its analysis finished.
+
+        The margin for future analyses grows so the steady state stops
+        stalling. Returns the new margin.
+        """
+        self.waits += 1
+        needed = self.margin_ops + max(1, lateness_ops)
+        grown = int(self.margin_ops * self.growth_factor)
+        self.margin_ops = max(needed, grown)
+        return self.margin_ops

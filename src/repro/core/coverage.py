@@ -1,0 +1,155 @@
+"""The Section 3 optimization problem: what are good traces?
+
+Given the complete task sequence ``S`` of a program execution, an automatic
+trace identification system constructs a set of traces ``T`` (substrings of
+``S``) and a matching function ``f`` mapping each trace to a set of
+intervals of ``S`` it matches. The *coverage* of ``(T, f)`` is the total
+length of all matched intervals; valid solutions require every trace to
+meet a minimum length and all matched intervals to be pairwise disjoint.
+Among maximum-coverage solutions, ones with more matched intervals and
+then fewer traces are preferred.
+
+This module provides the objective, the validity checks, a greedy
+reference matcher, and an exhaustive solver for small inputs (used to
+measure how close Algorithm 2 gets to optimal).
+"""
+
+def coverage(f):
+    """``coverage(T, f)``: total tokens covered by all matched intervals.
+
+    ``f`` maps each trace (a tuple of tokens) to an iterable of
+    ``(start, end)`` half-open intervals.
+    """
+    return sum(end - start for intervals in f.values() for (start, end) in intervals)
+
+
+def is_valid_matching(sequence, f, min_length=1):
+    """Check the constraints of the Section 3 optimization problem.
+
+    * every trace is at least ``min_length`` long,
+    * every interval matched to a trace actually equals that trace,
+    * all intervals (across all traces) are pairwise disjoint.
+
+    Returns ``(ok, reason)``.
+    """
+    sequence = list(sequence)
+    occupied = []
+    for trace, intervals in f.items():
+        trace = tuple(trace)
+        if len(trace) < min_length:
+            return False, f"trace {trace!r} shorter than minimum {min_length}"
+        for (start, end) in intervals:
+            if not (0 <= start < end <= len(sequence)):
+                return False, f"interval ({start}, {end}) out of bounds"
+            if end - start != len(trace):
+                return False, f"interval ({start}, {end}) length != trace length"
+            if tuple(sequence[start:end]) != trace:
+                return False, f"interval ({start}, {end}) does not match trace"
+            occupied.append((start, end))
+    occupied.sort()
+    for (a, b) in zip(occupied, occupied[1:]):
+        if a[1] > b[0]:
+            return False, f"intervals {a} and {b} overlap"
+    return True, "ok"
+
+
+def matching_from_repeats(repeats):
+    """Build the matching function ``f`` from Algorithm 2's output."""
+    f = {}
+    for repeat in repeats:
+        f[repeat.tokens] = [
+            (pos, pos + repeat.length) for pos in repeat.positions
+        ]
+    return f
+
+
+def greedy_matching(sequence, traces):
+    """Reference matcher: greedily match the given traces left to right,
+    longest trace first at each position. Returns the matching ``f``."""
+    sequence = list(sequence)
+    ordered = sorted((tuple(t) for t in traces), key=len, reverse=True)
+    f = {t: [] for t in ordered}
+    i = 0
+    n = len(sequence)
+    while i < n:
+        for trace in ordered:
+            length = len(trace)
+            if i + length <= n and tuple(sequence[i : i + length]) == trace:
+                f[trace].append((i, i + length))
+                i += length
+                break
+        else:
+            i += 1
+    return {t: intervals for t, intervals in f.items() if intervals}
+
+
+def exhaustive_best_matching(sequence, min_length=1, max_n=14):
+    """Exact solver for tiny inputs.
+
+    Enumerates all ways to tile ``sequence`` with disjoint intervals of
+    length >= ``min_length`` and returns the lexicographically best
+    ``(coverage, num_intervals, -num_traces)`` solution as ``(score, f)``.
+    Exponential; guarded by ``max_n``.
+    """
+    sequence = tuple(sequence)
+    n = len(sequence)
+    if n > max_n:
+        raise ValueError(f"exhaustive solver limited to n <= {max_n}")
+
+    intervals = [
+        (s, e)
+        for s in range(n)
+        for e in range(s + min_length, n + 1)
+    ]
+    best = ((-1, 0, 0), {})
+    # Enumerate all subsets of pairwise-disjoint intervals via DFS.
+    stack = [(0, [], 0)]
+    while stack:
+        idx, chosen, cov = stack.pop()
+        if idx == len(intervals):
+            traces = {}
+            for (s, e) in chosen:
+                traces.setdefault(sequence[s:e], []).append((s, e))
+            score = (cov, len(chosen), -len(traces))
+            if score > best[0]:
+                best = (score, traces)
+            continue
+        s, e = intervals[idx]
+        # Skip this interval.
+        stack.append((idx + 1, chosen, cov))
+        # Take it if disjoint from everything chosen.
+        if all(e <= cs or s >= ce for (cs, ce) in chosen):
+            stack.append((idx + 1, chosen + [(s, e)], cov + (e - s)))
+    return best
+
+
+def interval_set_disjoint(intervals):
+    """True if a collection of half-open intervals is pairwise disjoint."""
+    ordered = sorted(intervals)
+    return all(a[1] <= b[0] for a, b in zip(ordered, ordered[1:]))
+
+
+def count_intervals(f):
+    """Total number of matched intervals in a matching function."""
+    return sum(len(v) for v in f.values())
+
+
+def figure2_example():
+    """The paper's Figure 2 instance: sequence, trace set, and the three
+    matching functions (invalid, sub-optimal, optimal)."""
+    t1, t2, t3 = "T1", "T2", "T3"
+    sequence = (
+        [t1, t2, t3] * 2 + [t1, t2] * 2 + [t1, t2, t3] + [t1, t2] + [t1, t2, t3]
+    )
+    traces = {(t1, t2, t3), (t1, t2)}
+    invalid = {(t1, t2, t3): [(0, 3), (3, 6)], (t1, t2): [(3, 5)]}
+    # Matching only T1T2 everywhere covers 14 tokens (the figure's
+    # sub-optimal matching).
+    suboptimal = {
+        (t1, t2): [(0, 2), (3, 5), (6, 8), (8, 10), (10, 12), (13, 15), (15, 17)],
+    }
+    optimal = {
+        (t1, t2, t3): [(0, 3), (3, 6), (10, 13), (15, 18)],
+        (t1, t2): [(6, 8), (8, 10), (13, 15)],
+    }
+    return sequence, traces, invalid, suboptimal, optimal

@@ -1,0 +1,74 @@
+"""Task -> token hashing (Section 4.1).
+
+Trace identification treats the application's task stream as a string. A
+task is more than an opcode: its region arguments, fields, privileges and
+reduction operators all affect the dependence analysis, so all of them must
+be identical for two launches to be interchangeable inside a trace.
+Apophenia therefore hashes each task's full analysis-relevant signature
+into a single token, turning the stream of tasks into a stream of hashes.
+
+Hashes are computed with BLAKE2b over a canonical encoding and truncated to
+64 bits. Python's built-in ``hash`` is avoided because it is randomized per
+process, and the distributed agreement protocol (Section 5.1) requires all
+nodes to compute identical tokens.
+"""
+
+import hashlib
+
+
+def stable_hash(value):
+    """A 64-bit stable hash of a nested tuple/str/int/None structure."""
+    digest = hashlib.blake2b(_encode(value), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _encode(value):
+    """Canonical byte encoding of the signature structure."""
+    if value is None:
+        return b"N"
+    if isinstance(value, bool):
+        return b"B1" if value else b"B0"
+    if isinstance(value, int):
+        return b"I" + str(value).encode()
+    if isinstance(value, float):
+        return b"F" + repr(value).encode()
+    if isinstance(value, str):
+        raw = value.encode()
+        return b"S" + str(len(raw)).encode() + b":" + raw
+    if isinstance(value, (tuple, list)):
+        parts = [b"T", str(len(value)).encode()]
+        for item in value:
+            encoded = _encode(item)
+            parts.append(str(len(encoded)).encode())
+            parts.append(b":")
+            parts.append(encoded)
+        return b"".join(parts)
+    if isinstance(value, frozenset):
+        return _encode(tuple(sorted(value, key=repr)))
+    raise TypeError(f"cannot hash value of type {type(value)!r}")
+
+
+class TaskHasher:
+    """Hashes tasks into the token stream, caching per-signature results.
+
+    The cache matters for the front-end overhead budget (Section 6.3):
+    steady-state iterative applications issue the same few hundred distinct
+    signatures over and over, so hashing amortizes to a dict lookup.
+    """
+
+    def __init__(self):
+        self._cache = {}
+        self.hashes_computed = 0
+
+    def hash_task(self, task):
+        """Return the 64-bit token for a task launch."""
+        signature = task.signature()
+        token = self._cache.get(signature)
+        if token is None:
+            token = stable_hash(signature)
+            self._cache[signature] = token
+            self.hashes_computed += 1
+        return token
+
+    def __len__(self):
+        return len(self._cache)

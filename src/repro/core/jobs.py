@@ -1,0 +1,97 @@
+"""Asynchronous buffer-analysis jobs.
+
+Apophenia mines the task history buffer *asynchronously* so the application
+is never stalled waiting for a suffix-array analysis (Section 4.2). In the
+real implementation the jobs run on Legion's background worker threads; in
+this reproduction, job *results* are computed eagerly (they depend only on
+the job's input tokens, so they are deterministic across nodes) while job
+*completion times* are modeled in units of processed operations: a job
+submitted at operation ``t`` over ``n`` tokens completes at operation
+``t + base + ceil(n * per_token)``, with deterministic per-node jitter so
+the distributed agreement protocol (Section 5.1) has real skew to resolve.
+"""
+
+import itertools
+
+from repro.core.repeats import find_repeats
+
+
+class AnalysisJob:
+    """One asynchronous mining job over a slice of the history buffer."""
+
+    __slots__ = (
+        "job_id",
+        "submitted_at_op",
+        "completes_at_op",
+        "num_tokens",
+        "result",
+    )
+
+    def __init__(self, job_id, submitted_at_op, completes_at_op, num_tokens, result):
+        self.job_id = job_id
+        self.submitted_at_op = submitted_at_op
+        self.completes_at_op = completes_at_op
+        self.num_tokens = num_tokens
+        self.result = result
+
+    def complete_by(self, op_count):
+        return op_count >= self.completes_at_op
+
+    def __repr__(self):
+        return (
+            f"AnalysisJob(id={self.job_id}, n={self.num_tokens}, "
+            f"submitted={self.submitted_at_op}, completes={self.completes_at_op})"
+        )
+
+
+class JobExecutor:
+    """Runs repeat-finding jobs with simulated asynchronous completion.
+
+    Parameters
+    ----------
+    repeats_algorithm:
+        Callable ``(tokens, min_length) -> list[Repeat]``; defaults to the
+        paper's Algorithm 2 (:func:`repro.core.repeats.find_repeats`).
+    base_latency_ops / per_token_latency_ops:
+        Completion-time model, in units of processed operations.
+    node_id:
+        Used to derive deterministic per-node jitter.
+    """
+
+    def __init__(
+        self,
+        repeats_algorithm=find_repeats,
+        base_latency_ops=50,
+        per_token_latency_ops=0.05,
+        node_id=0,
+    ):
+        self.repeats_algorithm = repeats_algorithm
+        self.base_latency_ops = base_latency_ops
+        self.per_token_latency_ops = per_token_latency_ops
+        self.node_id = node_id
+        self._ids = itertools.count()
+        self.jobs_submitted = 0
+        self.tokens_analyzed = 0
+
+    def submit(self, tokens, min_length, now_op):
+        """Submit a mining job; returns the :class:`AnalysisJob`."""
+        job_id = next(self._ids)
+        result = self.repeats_algorithm(tokens, min_length)
+        latency = self.base_latency_ops + int(
+            len(tokens) * self.per_token_latency_ops
+        )
+        # Deterministic per-node jitter in [0, base/2): models scheduling
+        # noise of background worker threads on each node.
+        jitter = (hash((self.node_id * 2654435761) ^ job_id) & 0xFFFF) % max(
+            1, self.base_latency_ops // 2
+        )
+        job = AnalysisJob(
+            job_id,
+            now_op,
+            now_op + latency + jitter,
+            len(tokens),
+            result,
+        )
+        self.jobs_submitted += 1
+        self.tokens_analyzed += len(tokens)
+        return job

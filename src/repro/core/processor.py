@@ -1,0 +1,211 @@
+"""The Apophenia front-end (``ExecuteTask`` of Algorithm 1).
+
+:class:`ApopheniaProcessor` sits between the application and the runtime,
+exactly as the paper's implementation sits between the application and
+Legion. Every task the application launches flows through
+:meth:`ApopheniaProcessor.execute_task`, which
+
+1. hashes the task into the token stream (Section 4.1),
+2. feeds the token to the trace finder, possibly submitting an
+   asynchronous mining job (Section 4.2),
+3. ingests any mining results whose agreed ingestion point has been
+   reached (Section 5.1), and
+4. hands the task to the trace replayer, which forwards it to the runtime
+   untraced, buffers it as part of a potential match, or issues a
+   completed match wrapped in ``tbegin``/``tend`` (Section 4.3).
+
+Configuration mirrors the runtime flags listed in the paper's artifact
+appendix (``-lg:auto_trace:*``).
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.finder import TraceFinder
+from repro.core.hashing import TaskHasher
+from repro.core.jobs import JobExecutor
+from repro.core.replayer import TraceReplayer
+from repro.core.repeats import find_repeats
+from repro.core.scoring import ScoringPolicy
+
+
+def _resolve_repeats_algorithm(name):
+    """Map an artifact-style algorithm name to a callable."""
+    if callable(name):
+        return name
+    if name == "quick_matching_of_substrings":
+        return find_repeats
+    if name == "lzw":
+        from repro.analysis.lzw import find_repeats_lzw
+
+        return find_repeats_lzw
+    if name == "tandem":
+        from repro.analysis.tandem import find_tandem_repeats
+
+        return find_tandem_repeats
+    if name == "quadratic":
+        from repro.analysis.quadratic import find_repeats_quadratic
+
+        return find_repeats_quadratic
+    raise ValueError(f"unknown repeats algorithm {name!r}")
+
+
+@dataclass(frozen=True)
+class ApopheniaConfig:
+    """Tuning knobs, named after the artifact's command-line flags.
+
+    Attributes
+    ----------
+    min_trace_length:
+        ``-lg:auto_trace:min_trace_length``; shorter repeats are never
+        considered (Section 3's minimum-length constraint).
+    max_trace_length:
+        ``-lg:auto_trace:max_trace_length``; matches longer than this are
+        split into chunks before being issued (the FlexFlow auto-200
+        configuration in Section 6.2). ``None`` means unbounded.
+    batchsize:
+        ``-lg:auto_trace:batchsize``; capacity of the task history buffer.
+    multi_scale_factor:
+        ``-lg:auto_trace:multi_scale_factor``; granularity of the
+        ruler-function sampling schedule.
+    identifier_algorithm:
+        ``"multi-scale"`` (the paper's scheme) or ``"fixed"``.
+    repeats_algorithm:
+        ``"quick_matching_of_substrings"`` (Algorithm 2), or one of the
+        baselines ``"lzw"``, ``"tandem"``, ``"quadratic"`` for ablations.
+    count_cap / decay_rate / replay_bonus:
+        Scoring policy parameters (Section 4.3).
+    job_base_latency_ops / job_per_token_latency_ops:
+        Completion model of asynchronous mining jobs, in operations.
+    initial_ingest_margin_ops:
+        Starting margin of the distributed ingestion agreement.
+    """
+
+    min_trace_length: int = 5
+    max_trace_length: Optional[int] = None
+    batchsize: int = 5000
+    multi_scale_factor: int = 250
+    identifier_algorithm: str = "multi-scale"
+    repeats_algorithm: object = "quick_matching_of_substrings"
+    count_cap: int = 16
+    decay_rate: float = 1e-4
+    replay_bonus: float = 1.1
+    job_base_latency_ops: int = 50
+    job_per_token_latency_ops: float = 0.05
+    initial_ingest_margin_ops: int = 128
+
+    def with_overrides(self, **kwargs):
+        return replace(self, **kwargs)
+
+    def scoring_policy(self):
+        return ScoringPolicy(
+            count_cap=self.count_cap,
+            decay_rate=self.decay_rate,
+            replay_bonus=self.replay_bonus,
+        )
+
+
+class ApopheniaProcessor:
+    """Automatic tracing front-end for one (replicated) runtime node.
+
+    Parameters
+    ----------
+    runtime:
+        A :class:`repro.runtime.runtime.Runtime`; the processor forwards
+        (possibly rearranged into traces) task launches to it.
+    config:
+        :class:`ApopheniaConfig`.
+    node_id:
+        This node's id under control replication.
+    coordinator:
+        Shared :class:`repro.core.coordination.IngestCoordinator` when
+        running replicated; ``None`` runs a private one.
+    """
+
+    def __init__(self, runtime, config=None, node_id=0, coordinator=None):
+        self.runtime = runtime
+        self.config = config or ApopheniaConfig()
+        self.node_id = node_id
+        self.coordinator = coordinator
+        runtime.auto_tracing = True  # launches now cost 12us, Section 6.3
+
+        self.hasher = TaskHasher()
+        self.executor = JobExecutor(
+            repeats_algorithm=_resolve_repeats_algorithm(
+                self.config.repeats_algorithm
+            ),
+            base_latency_ops=self.config.job_base_latency_ops,
+            per_token_latency_ops=self.config.job_per_token_latency_ops,
+            node_id=node_id,
+        )
+        self.finder = TraceFinder(
+            self.executor,
+            batchsize=self.config.batchsize,
+            multi_scale_factor=self.config.multi_scale_factor,
+            min_trace_length=self.config.min_trace_length,
+            identifier_algorithm=self.config.identifier_algorithm,
+        )
+        self.replayer = TraceReplayer(
+            on_flush=self._forward_untraced,
+            on_trace=self._forward_trace,
+            scoring=self.config.scoring_policy(),
+            min_trace_length=self.config.min_trace_length,
+            max_trace_length=self.config.max_trace_length,
+        )
+        self.trace_log = []  # (trace_id, length) of every issued trace
+
+    # ------------------------------------------------------------------
+    # Application-facing interface
+    # ------------------------------------------------------------------
+    def execute_task(self, task):
+        """Issue one task through Apophenia (Algorithm 1's ExecuteTask)."""
+        if task.provenance is None:
+            task.provenance = self.runtime.current_iteration
+        self.runtime.charge_launch()
+        token = self.hasher.hash_task(task)
+        job = self.finder.observe(token)
+        del job  # submission is tracked by the finder's pending queue
+        for done in self.finder.drain_completed(
+            self.finder.ops_observed, self.coordinator
+        ):
+            self.replayer.ingest(done.result)
+        self.replayer.process(task, token)
+
+    def flush(self):
+        """Drain all buffered tasks (call at program end or at a fence)."""
+        self.replayer.flush_all()
+
+    def fence(self):
+        """Forward an execution fence, draining buffers first."""
+        self.flush()
+        self.runtime.fence()
+
+    def set_iteration(self, iteration):
+        self.runtime.set_iteration(iteration)
+
+    # ------------------------------------------------------------------
+    # Replayer callbacks
+    # ------------------------------------------------------------------
+    def _forward_untraced(self, tasks):
+        for task in tasks:
+            self.runtime.execute_task(task, charge_launch=False)
+
+    def _forward_trace(self, candidate, chunk_index, tasks):
+        trace_id = ("apophenia", candidate.trace_id, chunk_index, len(tasks))
+        self.runtime.begin_trace(trace_id)
+        for task in tasks:
+            self.runtime.execute_task(task, charge_launch=False)
+        self.runtime.end_trace(trace_id)
+        self.trace_log.append((trace_id, len(tasks)))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        return self.replayer.stats
+
+    def decision_trace(self):
+        """A deterministic summary of all tracing decisions, used by the
+        control-replication tests to assert that every node agreed."""
+        return tuple(self.trace_log)

@@ -1,0 +1,219 @@
+"""Algorithm 2: non-overlapping repeated substrings with high coverage.
+
+This is the paper's repeat-finding algorithm (``FindRepeats``), which the
+trace finder runs asynchronously over slices of the task history buffer.
+Given a token string ``S`` it returns a set of repeated substrings chosen
+to cover as much of ``S`` as possible, in O(n log n):
+
+1. Build the suffix array and LCP array of ``S``.
+2. For each adjacent pair of suffixes, emit *candidate* repeats. When the
+   shared prefix of the two suffixes does not overlap in ``S``, the shared
+   prefix itself occurs at both positions. When it overlaps (the suffixes
+   start ``d`` apart with ``d < p``), the overlap region is a run of
+   repetitions of the period ``S[s1:s1+d]``; the algorithm emits two
+   adjacent repetitions of length ``l = ((p+d)//2)`` rounded down to a
+   multiple of ``d``.
+3. Sort candidates by decreasing length (so the greedy pass prefers long
+   repeats), grouping equal substrings together, and greedily keep every
+   candidate interval that does not overlap a previously kept one.
+4. Deduplicate the kept substrings.
+
+Two deliberate heuristics (discussed in the paper): only the maximal-length
+repetition of each adjacent pair is considered, and selection is greedy
+rather than an optimal interval packing, so only the longest repeated
+substring is guaranteed; coverage of the rest is best-effort.
+
+Instead of materializing every candidate substring for the sort (which is
+quadratic on periodic inputs), candidates are ordered by the suffix rank of
+their start position: all positions sharing an ``l``-token prefix form a
+contiguous block of the suffix array, so equal substrings of equal length
+sort adjacently and blocks sort lexicographically -- the order the paper's
+sort produces -- without copying.
+"""
+
+from repro.core.suffix_array import lcp_array, rank_compress, suffix_array
+
+
+class Repeat:
+    """A repeated substring selected by :func:`find_repeats`.
+
+    Attributes
+    ----------
+    tokens:
+        The repeated substring, as a tuple of the original tokens.
+    positions:
+        Sorted tuple of the non-overlapping start positions selected for
+        this substring.
+    """
+
+    __slots__ = ("tokens", "positions")
+
+    def __init__(self, tokens, positions):
+        self.tokens = tuple(tokens)
+        self.positions = tuple(sorted(positions))
+
+    @property
+    def length(self):
+        return len(self.tokens)
+
+    @property
+    def count(self):
+        return len(self.positions)
+
+    @property
+    def covered(self):
+        """Tokens of the input covered by this repeat's selections."""
+        return self.length * self.count
+
+    def __repr__(self):
+        return f"Repeat(len={self.length}, count={self.count})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Repeat)
+            and self.tokens == other.tokens
+            and self.positions == other.positions
+        )
+
+    def __hash__(self):
+        return hash((self.tokens, self.positions))
+
+
+def _candidates(s, sa, lcp, min_length):
+    """Candidate (length, start) pairs from adjacent suffix-array entries."""
+    out = []
+    for i in range(len(sa) - 1):
+        s1, s2, p = sa[i], sa[i + 1], lcp[i]
+        if p < min_length:
+            continue
+        if s1 > s2:
+            s1, s2 = s2, s1
+        if s2 >= s1 + p:
+            # The two occurrences of the shared prefix do not overlap.
+            out.append((p, s1))
+            out.append((p, s2))
+        else:
+            # Overlapping occurrences: the region is periodic with period
+            # d = s2 - s1. Emit two adjacent repetitions of a multiple of
+            # the period.
+            d = s2 - s1
+            length = (p + d) // 2
+            length -= length % d
+            if length >= min_length:
+                out.append((length, s1))
+                out.append((length, s1 + length))
+    return out
+
+
+def find_repeats(tokens, min_length=1, min_occurrences=2):
+    """Find non-overlapping repeated substrings with high coverage.
+
+    Parameters
+    ----------
+    tokens:
+        Sequence of hashable tokens (task hashes, characters, ints...).
+    min_length:
+        Minimum repeat length to consider (the paper's minimum trace
+        length constraint, Section 3).
+    min_occurrences:
+        Substrings whose greedy selection kept fewer than this many
+        non-overlapping occurrences are dropped from the result: a
+        substring matched once in the window is useless as a trace. The
+        paper's Figure 4 output (``{aa, bc}`` for ``aabcbcbaa``) reflects
+        this filtering. Pass 1 to keep every selection.
+
+    Returns
+    -------
+    list[Repeat]
+        Deduplicated repeats, each with the non-overlapping positions the
+        greedy pass selected, ordered by decreasing length then first
+        position.
+    """
+    tokens = list(tokens)
+    n = len(tokens)
+    if n < 2 or min_length > n:
+        return []
+    s = rank_compress(tokens)
+    sa = suffix_array(s)
+    lcp = lcp_array(s, sa)
+    cands = _candidates(s, sa, lcp, max(1, min_length))
+    if not cands:
+        return []
+
+    # Order: decreasing length; within a length, by suffix rank so equal
+    # substrings are adjacent and groups are lexicographic; then by start.
+    rank = [0] * n
+    for idx, start in enumerate(sa):
+        rank[start] = idx
+    cands.sort(key=lambda c: (-c[0], rank[c[1]], c[1]))
+
+    # Greedy selection with an O(1) overlap test: because candidates are
+    # visited in decreasing length order, a previously selected interval
+    # can never lie strictly inside a later (shorter or equal) candidate,
+    # so testing the candidate's endpoints against the covered mark array
+    # is sufficient.
+    covered = bytearray(n)
+    selected = {}
+    for length, start in cands:
+        end = start + length
+        if covered[start] or covered[end - 1]:
+            continue
+        key = tuple(s[start:end])
+        positions = selected.get(key)
+        if positions is None:
+            selected[key] = positions = []
+        positions.append(start)
+        for i in range(start, end):
+            covered[i] = 1
+
+    repeats = []
+    for key, positions in selected.items():
+        if len(positions) < min_occurrences:
+            continue
+        first = positions[0]
+        sub = tuple(tokens[first : first + len(key)])
+        repeats.append(Repeat(sub, positions))
+    repeats.sort(key=lambda r: (-r.length, r.positions[0]))
+    return repeats
+
+
+def covered_tokens(repeats):
+    """Total number of input tokens covered by a repeat selection."""
+    return sum(r.covered for r in repeats)
+
+
+def canonical_rotation(tokens):
+    """The lexicographically-least rotation of ``tokens`` (Booth's
+    algorithm, O(n)).
+
+    Used to deduplicate candidate traces: successive analyses of a
+    periodic stream window discover the same cycle at different phases,
+    and all rotations of one cycle share a canonical form. Tokens are
+    compared by rank of first appearance in the doubled string, which is
+    consistent for equality/ordering purposes.
+    """
+    tokens = list(tokens)
+    n = len(tokens)
+    if n <= 1:
+        return tuple(tokens)
+    # Tokens must share a total order that is intrinsic (not derived from
+    # position), or the canonical form would not be rotation-invariant.
+    # Stream tokens are 64-bit hash integers, so direct comparison works;
+    # tests use strings, which also compare directly.
+    s = tokens + tokens
+    f = [-1] * len(s)
+    k = 0
+    for j in range(1, len(s)):
+        sj = s[j]
+        i = f[j - k - 1]
+        while i != -1 and sj != s[k + i + 1]:
+            if sj < s[k + i + 1]:
+                k = j - i - 1
+            i = f[i]
+        if sj != s[k + i + 1]:
+            if sj < s[k]:
+                k = j
+            f[j - k] = -1
+        else:
+            f[j - k] = i + 1
+    return tuple(tokens[(k + offset) % n] for offset in range(n))

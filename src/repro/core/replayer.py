@@ -1,0 +1,272 @@
+"""The trace replayer (Section 4.3 and Algorithm 1, lines 10-19).
+
+The replayer consumes the application's (task, token) stream and decides,
+for every task, whether to forward it untraced, hold it as part of a
+potential trace match, or issue a completed match to the runtime wrapped
+in ``tbegin``/``tend``.
+
+Design constraints from the paper:
+
+* **No speculation** (Section 5.2): a trace is only issued once *all* of
+  its tasks have arrived, so tasks are buffered while any active trie
+  pointer could still complete a match. Because Legion's analysis phase is
+  an order of magnitude more expensive than the application phase, the
+  buffering is almost never exposed.
+* **Exploration vs exploitation**: when several candidates match, the
+  scoring policy picks; a match that is a proper prefix of a longer
+  candidate is *deferred* while the longer match remains possible, and
+  fired as soon as it is not.
+* **Determinism**: every decision is a pure function of the token stream
+  and the ingested candidate sets, so control-replicated nodes that ingest
+  at agreed points make identical decisions.
+"""
+
+from collections import deque
+
+from repro.core.repeats import canonical_rotation
+from repro.core.scoring import ScoringPolicy
+from repro.core.trie import CandidateTrie
+
+
+class ReplayerStats:
+    """Counters describing the replayer's behaviour."""
+
+    __slots__ = (
+        "tasks_seen",
+        "tasks_flushed",
+        "tasks_traced",
+        "traces_fired",
+        "candidates_ingested",
+        "deferrals",
+    )
+
+    def __init__(self):
+        self.tasks_seen = 0
+        self.tasks_flushed = 0
+        self.tasks_traced = 0
+        self.traces_fired = 0
+        self.candidates_ingested = 0
+        self.deferrals = 0
+
+
+class TraceReplayer:
+    """Matches candidate traces against the live stream and issues them.
+
+    Parameters
+    ----------
+    on_flush:
+        Callback ``(tasks) -> None``: forward tasks untraced, in order.
+    on_trace:
+        Callback ``(candidate, chunk_index, tasks) -> None``: issue tasks
+        as one trace (the processor wraps them in ``tbegin``/``tend``).
+    scoring:
+        :class:`~repro.core.scoring.ScoringPolicy`.
+    min_trace_length / max_trace_length:
+        Candidate length bounds. Long matches are split into chunks of at
+        most ``max_trace_length`` (the paper's FlexFlow auto-200
+        configuration); leftover chunks shorter than ``min_trace_length``
+        are flushed untraced.
+    """
+
+    def __init__(
+        self,
+        on_flush,
+        on_trace,
+        scoring=None,
+        min_trace_length=5,
+        max_trace_length=None,
+    ):
+        self.on_flush = on_flush
+        self.on_trace = on_trace
+        self.scoring = scoring or ScoringPolicy()
+        self.min_trace_length = min_trace_length
+        self.max_trace_length = max_trace_length
+        self.trie = CandidateTrie()
+        self.pending = deque()  # (index, task, token), stream order
+        self.deferred = None  # CompletedMatch being extended, or None
+        self.stream_index = 0
+        self.stats = ReplayerStats()
+        # (length, canonical rotation) -> [candidates, total count]:
+        # phase-shifted rediscoveries of one cycle reinforce a shared
+        # occurrence count, and at most ``max_phases_per_cycle`` rotations
+        # are admitted to the trie. One phase per cycle would leave the
+        # stream untraced for up to a full cycle after every misaligned
+        # commit; unbounded phases would re-record the same cycle
+        # endlessly (the Section 3 memoization-cost failure mode).
+        self._by_rotation = {}
+        self.max_phases_per_cycle = 3
+
+    # ------------------------------------------------------------------
+    # Candidate ingestion (IngestCandidates of Algorithm 1)
+    # ------------------------------------------------------------------
+    def ingest(self, repeats):
+        """Ingest mined repeats as candidate traces.
+
+        Every analysis that re-finds a candidate adds its observed
+        occurrences (the scoring cap bounds the effect). This is what lets
+        a long trace whose live matches are consumed by shorter replays
+        accumulate enough score to displace them -- the paper's "switch
+        from a trace that appeared early ... to a better trace that
+        appears later"."""
+        for repeat in repeats:
+            if repeat.length < self.min_trace_length:
+                continue
+            key = (repeat.length, canonical_rotation(repeat.tokens))
+            entry = self._by_rotation.get(key)
+            if entry is None:
+                entry = [[], 0]
+                self._by_rotation[key] = entry
+            members, _total = entry
+            entry[1] += repeat.count
+            existing = self.trie._by_tokens.get(tuple(repeat.tokens))
+            if existing is None and len(members) < self.max_phases_per_cycle:
+                existing = self.trie.insert(repeat.tokens)
+                members.append(existing)
+                self.stats.candidates_ingested += 1
+            # All phases of a cycle share the cycle's appearance count.
+            for member in members:
+                member.occurrences = max(member.occurrences, entry[1])
+                member.last_seen_at = self.stream_index
+
+    # ------------------------------------------------------------------
+    # Stream processing
+    # ------------------------------------------------------------------
+    def process(self, task, token):
+        """Consume one task and its hash token."""
+        index = self.stream_index
+        self.stream_index += 1
+        self.stats.tasks_seen += 1
+        self.pending.append((index, task, token))
+        self._advance(token, index)
+
+    def flush_all(self):
+        """Drain everything (end of program): fire a deferred match if one
+        is complete, then flush the rest untraced."""
+        if self.deferred is not None:
+            match = self.deferred
+            self.deferred = None
+            self._fire(match)
+        if self.pending:
+            self._flush_upto(self.stream_index)
+        self.trie.reset_pointers()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance(self, token, index):
+        completed = self.trie.advance(token, index)
+        for match in completed:
+            candidate = match.candidate
+            candidate.occurrences += 1
+            candidate.last_seen_at = match.end_index
+        self._handle(completed, index)
+
+    def _handle(self, completed, index):
+        """SelectReplayTrace of Algorithm 1: decide among the completed
+        matches ``D``, the pending tasks ``P``, and the active potential
+        matches ``A``.
+
+        The best completed match is held (one deferral slot). It is
+        committed only when no overlapping active pointer could still
+        complete a higher-scoring candidate; until then Apophenia keeps
+        buffering. A held match displaced by a better completion is
+        dropped (if disjoint, it is rediscovered when the pending tail is
+        reprocessed after the winner fires).
+        """
+        best = self.scoring.best(completed, index) if completed else None
+        if best is not None:
+            if self.deferred is None:
+                self.deferred = best
+                self.stats.deferrals += 1
+            elif self._beats(best, self.deferred, index):
+                self.deferred = best
+        if self.deferred is not None and not self._worth_waiting(
+            self.deferred, index
+        ):
+            match = self.deferred
+            self.deferred = None
+            self._fire(match)
+            return
+        self._flush_safe_prefix()
+
+    def _beats(self, challenger, incumbent, index):
+        cs = self.scoring.score(challenger.candidate, index)
+        inc = self.scoring.score(incumbent.candidate, index)
+        if cs != inc:
+            return cs > inc
+        if challenger.candidate.length != incumbent.candidate.length:
+            return challenger.candidate.length > incumbent.candidate.length
+        # Equal scores and lengths: prefer consuming the stream in order.
+        return challenger.start_index < incumbent.start_index
+
+    def _worth_waiting(self, match, index):
+        """True while some active pointer overlapping ``match``'s region
+        may still complete a candidate scoring higher than ``match``."""
+        threshold = self.scoring.score(match.candidate, index)
+        for pointer in self.trie.active:
+            if pointer.start_index >= match.end_index:
+                continue  # consumes only stream beyond the match
+            node = pointer.node
+            deep = node.deep
+            if deep is None or deep.length <= node.depth:
+                continue  # nothing deeper can complete from here
+            if self.scoring.potential(deep, index) > threshold:
+                return True
+        return False
+
+    def _fire(self, match):
+        """Commit a match: flush its prefix, issue it as a trace, reprocess
+        the tail of the pending buffer."""
+        self._flush_upto(match.start_index)
+        trace_items = []
+        while self.pending and self.pending[0][0] < match.end_index:
+            trace_items.append(self.pending.popleft())
+        tail = list(self.pending)
+        self.pending = deque()
+        self._issue_trace(match.candidate, [item[1] for item in trace_items])
+        self.trie.reset_pointers()
+        self.stats.traces_fired += 1
+        # Reprocess the tail through the trie so matches that began after
+        # the committed trace are rediscovered.
+        for index, task, token in tail:
+            self.pending.append((index, task, token))
+            self._advance(token, index)
+
+    def _issue_trace(self, candidate, tasks):
+        """Issue a committed match, chunking to ``max_trace_length``."""
+        limit = self.max_trace_length or len(tasks)
+        start = 0
+        chunk_index = 0
+        while start < len(tasks):
+            chunk = tasks[start : start + limit]
+            if len(chunk) >= self.min_trace_length:
+                self.on_trace(candidate, chunk_index, chunk)
+                self.stats.tasks_traced += len(chunk)
+            else:
+                self.on_flush(chunk)
+                self.stats.tasks_flushed += len(chunk)
+            start += limit
+            chunk_index += 1
+        if not candidate.recorded:
+            candidate.recorded = True
+        else:
+            candidate.replayed = True
+
+    def _flush_safe_prefix(self):
+        """Flush pending tasks that can no longer join any match."""
+        bound = self.trie.earliest_active_start()
+        if self.deferred is not None:
+            start = self.deferred.start_index
+            bound = start if bound is None else min(bound, start)
+        if bound is None:
+            bound = self.stream_index
+        self._flush_upto(bound)
+
+    def _flush_upto(self, bound):
+        """Forward pending tasks with stream index < ``bound`` untraced."""
+        batch = []
+        while self.pending and self.pending[0][0] < bound:
+            batch.append(self.pending.popleft()[1])
+        if batch:
+            self.on_flush(batch)
+            self.stats.tasks_flushed += len(batch)

@@ -1,0 +1,76 @@
+"""Ruler-function multi-scale buffer sampling (Section 4.4).
+
+The trace finder accumulates tokens into a history buffer of fixed capacity
+(``batchsize`` in the artifact's flags). Mining the whole buffer on every
+trigger would be slow and unresponsive; mining only recent suffixes would
+never find long traces. Apophenia resolves the tension by sampling slices
+of the buffer whose sizes follow the *ruler function*:
+
+    ruler(k) = exponent of the largest power of two dividing k
+
+Every ``multi_scale_factor`` tasks (the paper suggests 250), the finder
+analyzes the most recent ``multi_scale_factor * 2**ruler(k)`` tokens, where
+``k`` counts triggers. The resulting schedule analyzes short recent windows
+frequently and exponentially longer windows exponentially rarely, adding
+only a log factor over a single full-buffer analysis: total work is
+O(n log^2 n) for an O(n log n) miner.
+"""
+
+
+def ruler(k):
+    """The ruler function: largest ``e`` such that ``2**e`` divides ``k``."""
+    if k <= 0:
+        raise ValueError("ruler function is defined for positive integers")
+    return (k & -k).bit_length() - 1
+
+
+def ruler_powers(count):
+    """First ``count`` values of ``2**ruler(k)`` for k = 1, 2, ...
+
+    For a buffer of size 4 this yields 1, 2, 1, 4 -- the sampling schedule
+    visualized in the paper's Figure 5.
+    """
+    return [2 ** ruler(k) for k in range(1, count + 1)]
+
+
+class MultiScaleSampler:
+    """Decides, per arriving token, how much of the buffer to analyze.
+
+    Parameters
+    ----------
+    factor:
+        The ``multi_scale_factor``: granularity (in tasks) of triggers.
+    capacity:
+        The history buffer capacity (``batchsize``); slice sizes are capped
+        to it, and the trigger counter wraps when the largest slice reaches
+        the capacity so the schedule stays periodic.
+    """
+
+    def __init__(self, factor=250, capacity=5000):
+        if factor <= 0 or capacity <= 0:
+            raise ValueError("factor and capacity must be positive")
+        self.factor = factor
+        self.capacity = capacity
+        self._arrivals = 0
+        self._trigger = 0
+        # Triggers per full period: the k at which factor * 2**ruler(k)
+        # first reaches capacity.
+        self._period = max(1, 2 ** max(0, (capacity // factor).bit_length() - 1))
+
+    def observe(self):
+        """Note one arriving token.
+
+        Returns the slice size (in tokens, counted from the most recent) to
+        analyze now, or ``None`` if no analysis should be triggered.
+        """
+        self._arrivals += 1
+        if self._arrivals % self.factor != 0:
+            return None
+        self._trigger += 1
+        k = ((self._trigger - 1) % self._period) + 1
+        size = self.factor * (2 ** ruler(k))
+        return min(size, self.capacity)
+
+    @property
+    def arrivals(self):
+        return self._arrivals

@@ -1,0 +1,73 @@
+"""Trace selection scoring (Section 4.3).
+
+When several candidate traces complete at the same stream position, the
+replayer must pick one. The paper's scoring function balances exploration
+(switching to better traces as they are discovered) against exploitation
+(not abandoning a profitable steady state):
+
+* the base score is the candidate's *length* times its *appearance count*,
+  preferring long traces that eliminate more per-task analysis cost;
+* the count is *capped*, so a trace that appeared many times early in the
+  run can still be displaced by a better trace discovered later;
+* the count is *exponentially decayed* by the number of tasks seen since
+  the trace last appeared, so an infrequent but long-lived candidate does
+  not slowly accumulate enough count to disrupt a steady state;
+* a small multiplicative *bonus* is applied to traces that have already
+  been replayed, since recording a new trace costs alpha_m per task.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScoringPolicy:
+    """Tunable knobs of the trace scoring function."""
+
+    count_cap: int = 16
+    decay_rate: float = 1e-4  # per task since last appearance
+    replay_bonus: float = 1.1
+
+    def score(self, candidate, now_index):
+        """Score a candidate at stream position ``now_index``.
+
+        ``candidate`` must expose ``length``, ``occurrences``,
+        ``last_seen_at`` and ``replayed`` (see
+        :class:`repro.core.trie.TraceCandidate`).
+        """
+        count = min(candidate.occurrences, self.count_cap)
+        if candidate.last_seen_at is not None:
+            idle = max(0, now_index - candidate.last_seen_at)
+            count *= math.exp(-self.decay_rate * idle)
+        score = candidate.length * count
+        if candidate.replayed:
+            score *= self.replay_bonus
+        return score
+
+    def potential(self, candidate, now_index):
+        """Optimistic score of a candidate if it were to complete now.
+
+        Used by the replayer's SelectReplayTrace to decide whether to hold
+        a completed match while a longer candidate is still matching. The
+        estimate is deliberately optimistic -- the candidate is scored at
+        the full count cap -- making the decision length-dominant: the
+        replayer always waits for a strictly more valuable trace that is
+        live in the stream, which is how long multi-iteration traces win
+        over their own fragments. The wait is bounded: the pointer either
+        completes the candidate or dies at its first divergence.
+        """
+        return candidate.length * self.count_cap * self.replay_bonus
+
+    def best(self, matches, now_index):
+        """Pick the highest-scoring match; ties break to the longest, then
+        the earliest start position (deterministic across nodes)."""
+        if not matches:
+            return None
+        return max(
+            matches,
+            key=lambda m: (
+                self.score(m.candidate, now_index),
+                m.candidate.length,
+                -m.start_index,
+            ),
+        )

@@ -1,0 +1,103 @@
+"""Suffix array and LCP array construction.
+
+Algorithm 2 of the paper is built on a suffix array and the Kasai et al.
+longest-common-prefix array. We implement the classic prefix-doubling
+construction, which runs in O(n log n) with Python's built-in sort used as
+the comparator at each doubling step, and Kasai's linear-time LCP
+construction [23].
+
+The input is any sequence of hashable tokens (ints, strings, or task
+hashes); tokens are rank-compressed first so the construction only ever
+sorts small integers.
+"""
+
+
+def rank_compress(tokens):
+    """Map arbitrary hashable tokens to dense integer ranks.
+
+    Returns a list of ints preserving the relative order of first
+    appearance (ordering between distinct tokens is arbitrary but fixed,
+    which is all the suffix array needs).
+    """
+    mapping = {}
+    out = []
+    for tok in tokens:
+        rank = mapping.get(tok)
+        if rank is None:
+            rank = len(mapping)
+            mapping[tok] = rank
+        out.append(rank)
+    return out
+
+
+def suffix_array(tokens):
+    """Return the suffix array of ``tokens`` as a list of start indices.
+
+    The suffix array lists the starting positions of all suffixes of the
+    input in lexicographic order. Tokens may be any hashable values; they
+    are compared by an arbitrary but consistent order (rank of first
+    appearance), which preserves all equal/unequal relations and therefore
+    all repeated-substring structure.
+    """
+    s = rank_compress(tokens)
+    n = len(s)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    order = sorted(range(n), key=lambda i: s[i])
+    ranks = [0] * n
+    ranks[order[0]] = 0
+    for i in range(1, n):
+        ranks[order[i]] = ranks[order[i - 1]] + (
+            1 if s[order[i]] != s[order[i - 1]] else 0
+        )
+    k = 1
+    tmp = [0] * n
+    while k < n:
+        def key(i):
+            second = ranks[i + k] if i + k < n else -1
+            return (ranks[i], second)
+
+        order.sort(key=key)
+        tmp[order[0]] = 0
+        for i in range(1, n):
+            tmp[order[i]] = tmp[order[i - 1]] + (
+                1 if key(order[i]) != key(order[i - 1]) else 0
+            )
+        ranks = tmp[:]
+        if ranks[order[-1]] == n - 1:
+            break
+        k <<= 1
+    return order
+
+
+def lcp_array(tokens, sa=None):
+    """Kasai's algorithm: LCP of adjacent suffix-array entries.
+
+    ``lcp[i]`` is the length of the longest common prefix of the suffixes
+    starting at ``sa[i]`` and ``sa[i+1]``. The returned list has length
+    ``len(tokens) - 1`` (empty input yields an empty list).
+    """
+    s = rank_compress(tokens)
+    n = len(s)
+    if sa is None:
+        sa = suffix_array(tokens)
+    if n <= 1:
+        return []
+    rank = [0] * n
+    for i, start in enumerate(sa):
+        rank[start] = i
+    lcp = [0] * (n - 1)
+    h = 0
+    for i in range(n):
+        if rank[i] > 0:
+            j = sa[rank[i] - 1]
+            while i + h < n and j + h < n and s[i + h] == s[j + h]:
+                h += 1
+            lcp[rank[i] - 1] = h
+            if h > 0:
+                h -= 1
+        else:
+            h = 0
+    return lcp

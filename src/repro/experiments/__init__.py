@@ -1,0 +1,35 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module regenerates one evaluation artifact:
+
+* :mod:`repro.experiments.harness` -- shared run/measure machinery,
+* :mod:`repro.experiments.weak_scaling` -- Figures 6a/6b/7a/7b,
+* :mod:`repro.experiments.strong_scaling` -- Figure 8 (FlexFlow),
+* :mod:`repro.experiments.warmup` -- Figure 9 (warmup-iterations table),
+* :mod:`repro.experiments.trace_search` -- Figure 10 (traced-percent
+  timeline for S3D),
+* :mod:`repro.experiments.overheads` -- Section 6.3 (task launch overhead
+  with and without Apophenia),
+* :mod:`repro.experiments.report` -- text rendering of result tables.
+"""
+
+from repro.experiments.harness import RunResult, run_app
+from repro.experiments.weak_scaling import weak_scaling, WEAK_SCALING_FIGURES
+from repro.experiments.strong_scaling import flexflow_strong_scaling
+from repro.experiments.warmup import warmup_iterations, warmup_table
+from repro.experiments.trace_search import trace_search_timeline
+from repro.experiments.overheads import launch_overheads
+from repro.experiments.report import format_table
+
+__all__ = [
+    "RunResult",
+    "run_app",
+    "weak_scaling",
+    "WEAK_SCALING_FIGURES",
+    "flexflow_strong_scaling",
+    "warmup_iterations",
+    "warmup_table",
+    "trace_search_timeline",
+    "launch_overheads",
+    "format_table",
+]

@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment results, in paper-like rows."""
+
+
+def format_table(headers, rows, title=None):
+    """Render a list-of-lists table with aligned columns."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_weak_scaling(results, figure_name):
+    """Render a weak-scaling result dict as the figure's data table."""
+    all_gpus = sorted({g for series in results.values() for g in series})
+    headers = ["series"] + [f"{g} GPUs" for g in all_gpus]
+    rows = []
+    for (mode, size) in sorted(results):
+        series = results[(mode, size)]
+        rows.append(
+            [f"{mode}-{size}"]
+            + [f"{series[g]:.2f}" if g in series else "-" for g in all_gpus]
+        )
+    return format_table(
+        headers, rows, title=f"{figure_name}: throughput (iterations/second)"
+    )
+
+
+def format_speedups(speedups, title):
+    """Render a strong-scaling speedup dict."""
+    all_gpus = sorted({g for series in speedups.values() for g in series})
+    headers = ["config"] + [f"{g} GPUs" for g in all_gpus]
+    rows = [
+        [label] + [f"{series[g]:.2f}" if g in series else "-" for g in all_gpus]
+        for label, series in speedups.items()
+    ]
+    return format_table(headers, rows, title=title)

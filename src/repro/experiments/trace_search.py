@@ -1,0 +1,50 @@
+"""Figure 10: visualization of Apophenia finding traces in S3D.
+
+For every task S3D launches (70 iterations), plot how many of the
+previous ``window`` tasks were traced. The expected shape: near zero
+during startup while Apophenia mines the stream, a rapid climb as traces
+are discovered and replayed, then a high steady state that creeps up as a
+better trace set is found late in the run.
+"""
+
+from repro.experiments.harness import run_app
+from repro.runtime.machine import PERLMUTTER
+from repro.runtime.runtime import TaskMode
+
+
+def rolling_traced_percent(runtime, window=5000):
+    """``percent[i]`` = % of tasks in the ``window`` before task i that
+    were part of a trace (recorded or replayed)."""
+    modes = [record.mode != TaskMode.ANALYZED for record in runtime.task_log]
+    out = []
+    traced_in_window = 0
+    for i, traced in enumerate(modes):
+        traced_in_window += traced
+        if i >= window:
+            traced_in_window -= modes[i - window]
+        span = min(i + 1, window)
+        out.append(100.0 * traced_in_window / span)
+    return out
+
+
+def trace_search_timeline(
+    iterations=70, gpus=4, window=5000, task_scale=0.25
+):
+    """Run S3D under Apophenia and return the Figure 10 series.
+
+    The window scales with ``task_scale`` so the x-axis matches the
+    paper's (a window of 5000 tasks at full task counts).
+    """
+    run = run_app(
+        "s3d",
+        "auto",
+        gpus,
+        machine=PERLMUTTER,
+        iterations=iterations,
+        warmup=min(50, iterations - 5),
+        task_scale=task_scale,
+        keep_task_log=True,
+    )
+    scaled_window = max(100, int(window * task_scale))
+    series = rolling_traced_percent(run.runtime, window=scaled_window)
+    return series, run

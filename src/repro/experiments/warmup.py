@@ -1,0 +1,98 @@
+"""Figure 9: iterations until Apophenia reaches a replaying steady state.
+
+The paper reports 50 (S3D), 50 (HTR), 300 (CFD), 300 (TorchSWE), and 30
+(FlexFlow) warmup iterations, noting that the cuPyNumeric applications
+need more because a single application-level iteration does not correspond
+to a repeated task sequence (allocator dynamics, Section 2).
+
+We define steady state from the per-iteration traced fraction: the first
+iteration after which at least ``threshold`` of each iteration's tasks are
+traced (recorded or replayed) for the rest of the run (excluding the
+end-of-run flush tail).
+"""
+
+from repro.experiments.harness import run_app
+from repro.runtime.machine import EOS, PERLMUTTER
+from repro.runtime.runtime import TaskMode
+
+
+def per_iteration_traced_fraction(runtime):
+    """``{iteration: fraction of its tasks that were traced}``."""
+    total = {}
+    traced = {}
+    for record in runtime.task_log:
+        total[record.iteration] = total.get(record.iteration, 0) + 1
+        if record.mode != TaskMode.ANALYZED:
+            traced[record.iteration] = traced.get(record.iteration, 0) + 1
+    return {
+        iteration: traced.get(iteration, 0) / count
+        for iteration, count in total.items()
+    }
+
+def warmup_iterations(runtime, threshold=0.8, tail_skip=15, smooth=5):
+    """First iteration after which the traced fraction stays >= threshold
+    for the rest of the run, ignoring the last ``tail_skip`` iterations
+    (flush tail).
+
+    The fraction is smoothed over ``smooth`` consecutive iterations:
+    applications like S3D and HTR have periodic irregular fragments
+    (Fortran hand-offs, statistics) whose few untraced tasks would
+    otherwise mask an obvious steady state. Returns ``None`` if no steady
+    state was reached.
+    """
+    fractions = per_iteration_traced_fraction(runtime)
+    if not fractions:
+        return None
+    iterations = sorted(fractions)
+    cutoff = max(iterations) - tail_skip
+    candidates = [i for i in iterations if i <= cutoff]
+    if len(candidates) < smooth:
+        return None
+    values = [fractions[i] for i in candidates]
+    steady_from = None
+    # Only full windows count: a trailing partial window would let a
+    # single periodic dip (e.g. a hand-off iteration) mask steady state.
+    for pos in range(len(candidates) - smooth + 1):
+        window = values[pos : pos + smooth]
+        if sum(window) / smooth >= threshold:
+            if steady_from is None:
+                steady_from = candidates[pos]
+        else:
+            steady_from = None
+    return steady_from
+
+
+#: Per-app run configuration for the warmup table.
+WARMUP_RUNS = {
+    "s3d": dict(machine=PERLMUTTER, gpus=4, iterations=120, task_scale=0.25),
+    "htr": dict(machine=PERLMUTTER, gpus=4, iterations=120, task_scale=0.5),
+    "cfd": dict(machine=EOS, gpus=8, iterations=400, task_scale=0.5),
+    "torchswe": dict(machine=EOS, gpus=8, iterations=400, task_scale=0.5),
+    "flexflow": dict(machine=EOS, gpus=8, iterations=120, task_scale=1.0),
+}
+
+#: The paper's Figure 9 values, for side-by-side reporting.
+PAPER_WARMUP = {"s3d": 50, "htr": 50, "cfd": 300, "torchswe": 300, "flexflow": 30}
+
+
+def warmup_table(runs=None, threshold=0.8):
+    """Measure warmup iterations for every application.
+
+    Returns ``{app: (measured, paper)}``.
+    """
+    runs = runs or WARMUP_RUNS
+    table = {}
+    for app, kwargs in runs.items():
+        kwargs = dict(kwargs)
+        iterations = kwargs.pop("iterations")
+        run = run_app(
+            app,
+            "auto",
+            kwargs.pop("gpus"),
+            iterations=iterations,
+            warmup=0,
+            **kwargs,
+        )
+        measured = warmup_iterations(run.runtime, threshold=threshold)
+        table[app] = (measured, PAPER_WARMUP.get(app))
+    return table

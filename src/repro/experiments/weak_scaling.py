@@ -1,0 +1,101 @@
+"""Weak scaling experiments: Figures 6a, 6b, 7a, 7b.
+
+For each application, GPU count, and problem size, measure steady-state
+throughput (iterations/second) in each mode. The paper's claims checked:
+
+* Figure 6 (S3D, HTR on Perlmutter): Apophenia achieves 0.92x-1.03x of
+  *manually traced* performance and beats untraced by up to 1.82x (S3D)
+  and 1.21x (HTR);
+* Figure 7 (CFD, TorchSWE on Eos): no manual version exists; Apophenia
+  beats untraced by up to 2.64x (CFD) and 2.82x (TorchSWE), with untraced
+  falling off at scale.
+"""
+
+from repro.experiments.harness import run_app
+from repro.runtime.machine import EOS, PERLMUTTER
+
+
+class FigureSpec:
+    """Configuration of one weak-scaling figure."""
+
+    def __init__(self, figure, app, machine, gpu_counts, modes, iterations,
+                 warmup, task_scale):
+        self.figure = figure
+        self.app = app
+        self.machine = machine
+        self.gpu_counts = gpu_counts
+        self.modes = modes
+        self.iterations = iterations
+        self.warmup = warmup
+        self.task_scale = task_scale
+
+
+#: One spec per weak-scaling figure in the paper. Iteration counts default
+#: to enough for the Figure 9 warmup plus a measurement window; the
+#: cuPyNumeric apps need longer warmups (Section 6.3).
+WEAK_SCALING_FIGURES = {
+    "fig6a": FigureSpec(
+        "fig6a", "s3d", PERLMUTTER, (4, 8, 16, 32, 64),
+        ("auto", "manual", "untraced"), 90, 55, 0.25,
+    ),
+    "fig6b": FigureSpec(
+        "fig6b", "htr", PERLMUTTER, (4, 8, 16, 32, 64),
+        ("auto", "manual", "untraced"), 90, 55, 0.5,
+    ),
+    "fig7a": FigureSpec(
+        "fig7a", "cfd", EOS, (1, 2, 4, 8, 16, 32, 64),
+        ("auto", "untraced"), 160, 110, 0.5,
+    ),
+    "fig7b": FigureSpec(
+        "fig7b", "torchswe", EOS, (1, 2, 4, 8, 16, 32, 64),
+        ("auto", "untraced"), 140, 90, 0.5,
+    ),
+}
+
+
+def weak_scaling(spec, sizes=("s", "m", "l"), **overrides):
+    """Run one figure's sweep.
+
+    Returns ``{(mode, size): {gpus: throughput}}``, the series the paper
+    plots.
+    """
+    results = {}
+    for mode in spec.modes:
+        for size in sizes:
+            series = {}
+            for gpus in spec.gpu_counts:
+                run = run_app(
+                    spec.app,
+                    mode,
+                    gpus,
+                    size=size,
+                    machine=spec.machine,
+                    iterations=overrides.get("iterations", spec.iterations),
+                    warmup=overrides.get("warmup", spec.warmup),
+                    task_scale=overrides.get("task_scale", spec.task_scale),
+                    apophenia=overrides.get("apophenia"),
+                )
+                series[gpus] = run.throughput
+            results[(mode, size)] = series
+    return results
+
+
+def speedup_ranges(results, baseline_mode, subject_mode="auto"):
+    """Min/max of subject/baseline throughput ratios across the sweep.
+
+    These are the headline numbers of the paper's abstract (e.g. Apophenia
+    reaches 0.92x-1.03x of manual, 0.91x-2.82x of untraced).
+    """
+    ratios = []
+    for (mode, size), series in results.items():
+        if mode != subject_mode:
+            continue
+        base = results.get((baseline_mode, size))
+        if base is None:
+            continue
+        for gpus, value in series.items():
+            if gpus in base and base[gpus] > 0:
+                ratios.append(value / base[gpus])
+    if not ratios:
+        return None
+    return min(ratios), max(ratios)

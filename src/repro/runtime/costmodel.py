@@ -1,0 +1,103 @@
+"""Virtual-time cost model calibrated to the paper's measurements.
+
+The paper reports (Sections 1, 6.3):
+
+* untraced dependence analysis costs ~1 ms per task,
+* replaying a task as part of a trace costs ~100 us,
+* task launch costs 7 us without Apophenia and 12 us with it,
+* memoization (recording a trace) is "slightly more expensive" than the
+  plain analysis,
+* each trace replay has a constant issuance overhead ``c`` that must be
+  amortized over the trace length (Section 3), and an issuance cost
+  component proportional to trace length that becomes visible when traces
+  are long but execute quickly (the FlexFlow auto-5000 vs auto-200 effect,
+  Section 6.2).
+
+All costs are in seconds of *virtual* time. The pipeline simulator charges
+them on the appropriate pipeline stage.
+"""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual costs of the runtime."""
+
+    # Application stage: cost of launching a task into the runtime.
+    launch_cost: float = 7e-6
+    # Extra launch cost imposed by Apophenia's front-end analysis (hashing,
+    # trie traversal, job management). 12us total per Section 6.3.
+    apophenia_launch_cost: float = 12e-6
+
+    # Analysis stage, per task.
+    analysis_cost: float = 1e-3  # alpha: full dynamic dependence analysis
+    memo_cost: float = 1.15e-3  # alpha_m: analysis + recording, slightly larger
+    replay_cost: float = 1e-4  # alpha_r: replaying memoized analysis
+
+    # Constant per-replay overhead c (Section 3).
+    replay_constant: float = 4e-4
+    # Per-task issuance cost of a replay that is serial with the replay
+    # start; exposes latency for very long traces on fast iterations.
+    replay_issue_per_task: float = 6e-6
+    # Superlinear template-instantiation overhead for very long traces:
+    # replaying a template stalls the execution stage for
+    # quad * max(0, len - threshold)^2 seconds while the template's events
+    # and instances materialize. This models the known Legion shortcoming
+    # the paper's footnote 5 refers to ("shorter traces exposing less
+    # latency"); it separates the auto-200 and auto-5000 configurations of
+    # Figure 8. The *default* is zero -- our idealized pipeline has no such
+    # nonideality -- and the Figure 8 harness injects the calibrated value
+    # (1e-7) explicitly; see EXPERIMENTS.md.
+    replay_issue_quadratic: float = 0.0
+    replay_issue_quad_threshold: int = 500
+
+    # Communication model: alpha-beta with a log(nodes) latency factor,
+    # matching tree-structured collectives on both interconnects.
+    comm_base_latency: float = 1.2e-5
+    comm_bandwidth: float = 2.0e10  # bytes/second per node (injection bw)
+
+    # Analysis inflation with node count: sharded dependence analysis pays
+    # growing cross-shard exchange costs (Section 5.1 of [8]).
+    analysis_scale_factor: float = 0.18
+
+    def launch(self, auto_tracing):
+        """Application-stage cost of one task launch."""
+        return self.apophenia_launch_cost if auto_tracing else self.launch_cost
+
+    def analysis_at_scale(self, nodes):
+        """Effective per-task analysis cost on ``nodes`` nodes."""
+        import math
+
+        scale = 1.0 + self.analysis_scale_factor * math.log2(max(1, nodes))
+        return self.analysis_cost * scale
+
+    def memo_at_scale(self, nodes):
+        import math
+
+        scale = 1.0 + self.analysis_scale_factor * math.log2(max(1, nodes))
+        return self.memo_cost * scale
+
+    def replay_issue_cost(self, length):
+        """Serial issuance cost of replaying a trace of ``length`` tasks."""
+        over = max(0, length - self.replay_issue_quad_threshold)
+        return (
+            self.replay_constant
+            + length * self.replay_issue_per_task
+            + self.replay_issue_quadratic * over * over
+        )
+
+    def comm_cost(self, nodes, bytes_per_node):
+        """Virtual time of one communication phase across ``nodes`` nodes."""
+        import math
+
+        hops = max(1.0, math.log2(max(1, nodes)) + 1.0)
+        return self.comm_base_latency * hops + bytes_per_node / self.comm_bandwidth
+
+    def with_overrides(self, **kwargs):
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Cost model matching the paper's reported Legion measurements.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,41 @@
+"""Exception types raised by the runtime substrate."""
+
+
+class RuntimeError_(Exception):
+    """Base class for all runtime errors."""
+
+
+class TracingError(RuntimeError_):
+    """Base class for errors raised by the tracing engine."""
+
+
+class TraceMismatchError(TracingError):
+    """A replayed trace issued a different task sequence than was recorded.
+
+    This is the failure mode described in Section 2 of the paper: issuing a
+    different sequence of tasks under the same trace id violates the
+    conditions for tracing, and the runtime either raises an error or falls
+    back to the full dependence analysis.
+    """
+
+    def __init__(self, trace_id, position, expected, actual):
+        self.trace_id = trace_id
+        self.position = position
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"trace {trace_id!r} diverged at position {position}: "
+            f"expected signature {expected!r}, got {actual!r}"
+        )
+
+
+class TraceNestingError(TracingError):
+    """``tbegin``/``tend`` calls were not properly nested."""
+
+
+class RegionTreeError(RuntimeError_):
+    """An invalid operation on the region tree (e.g. bad partition colors)."""
+
+
+class PrivilegeError(RuntimeError_):
+    """A task requested an invalid privilege combination."""

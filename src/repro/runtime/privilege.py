@@ -1,0 +1,75 @@
+"""Privileges on region arguments, mirroring Legion's privilege model.
+
+A task declares how it will use each region argument. The dynamic dependence
+analysis uses privileges on overlapping regions to decide whether two tasks
+must be ordered (a *dependence*) or may run in parallel.
+"""
+
+import enum
+
+
+class Privilege(enum.Enum):
+    """Access privilege a task holds on a region argument."""
+
+    NO_ACCESS = "no_access"
+    READ_ONLY = "read_only"
+    READ_WRITE = "read_write"
+    WRITE_DISCARD = "write_discard"
+    REDUCE = "reduce"
+
+    @property
+    def reads(self):
+        """True if the privilege may observe existing data."""
+        return self in (Privilege.READ_ONLY, Privilege.READ_WRITE)
+
+    @property
+    def writes(self):
+        """True if the privilege may mutate data."""
+        return self in (
+            Privilege.READ_WRITE,
+            Privilege.WRITE_DISCARD,
+            Privilege.REDUCE,
+        )
+
+    @property
+    def discards(self):
+        """True if the privilege overwrites data without reading it."""
+        return self is Privilege.WRITE_DISCARD
+
+
+class DependenceType(enum.Enum):
+    """Classification of a dependence between two tasks."""
+
+    NONE = "none"
+    TRUE = "true"  # read-after-write (RAW)
+    ANTI = "anti"  # write-after-read (WAR)
+    OUTPUT = "output"  # write-after-write (WAW)
+    ATOMIC = "atomic"  # reduction-reduction with different operators
+
+
+def dependence_type(earlier, later, same_redop=True):
+    """Classify the dependence between two privileges on overlapping data.
+
+    ``earlier`` is the privilege of the task issued first. Two reductions
+    with the same operator commute and need no ordering; Legion models this
+    the same way.
+
+    Returns a :class:`DependenceType`.
+    """
+    if earlier is Privilege.NO_ACCESS or later is Privilege.NO_ACCESS:
+        return DependenceType.NONE
+    if earlier is Privilege.REDUCE and later is Privilege.REDUCE:
+        return DependenceType.NONE if same_redop else DependenceType.ATOMIC
+    if earlier.reads and later.reads and not earlier.writes and not later.writes:
+        return DependenceType.NONE
+    if earlier.writes and later.reads and not later.writes:
+        return DependenceType.TRUE
+    if earlier.reads and not earlier.writes and later.writes:
+        return DependenceType.ANTI
+    # Both write (at least one of which may also read).
+    return DependenceType.OUTPUT
+
+
+def conflicts(earlier, later, same_redop=True):
+    """True if two privileges on overlapping data require ordering."""
+    return dependence_type(earlier, later, same_redop) is not DependenceType.NONE

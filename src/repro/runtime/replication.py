@@ -1,0 +1,72 @@
+"""Dynamic control replication harness (Section 5.1).
+
+Under control replication the application runs on every node and all nodes
+must issue the *same* sequence of operations -- including Apophenia's trace
+begin/end decisions. This module runs N independent Apophenia+runtime
+instances in lockstep over one application stream, sharing a single
+:class:`~repro.core.coordination.IngestCoordinator`, and verifies that all
+nodes made identical tracing decisions.
+
+Each node's asynchronous analysis jobs complete at different simulated
+times (deterministic per-node jitter), so without the agreement protocol
+the nodes *would* diverge; the tests in ``tests/test_replication.py``
+demonstrate both directions.
+"""
+
+from repro.core.coordination import IngestCoordinator
+from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.runtime.runtime import Runtime
+
+
+class ReplicatedRun:
+    """N control-replicated nodes running Apophenia over one task stream."""
+
+    def __init__(
+        self,
+        num_nodes,
+        config=None,
+        runtime_factory=None,
+        coordinator=None,
+    ):
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        self.config = config or ApopheniaConfig()
+        self.coordinator = coordinator or IngestCoordinator(
+            initial_margin_ops=self.config.initial_ingest_margin_ops
+        )
+        factory = runtime_factory or (lambda node: Runtime(analysis_mode="fast"))
+        self.runtimes = [factory(node) for node in range(num_nodes)]
+        self.processors = [
+            ApopheniaProcessor(
+                self.runtimes[node],
+                config=self.config,
+                node_id=node,
+                coordinator=self.coordinator,
+            )
+            for node in range(num_nodes)
+        ]
+
+    def execute_task_factory(self, make_task):
+        """Issue one logical task: ``make_task(node)`` builds each node's
+        copy (nodes own distinct region forests, so tasks are rebuilt
+        per node with identical structure)."""
+        for node, processor in enumerate(self.processors):
+            processor.execute_task(make_task(node))
+
+    def set_iteration(self, iteration):
+        for processor in self.processors:
+            processor.set_iteration(iteration)
+
+    def flush(self):
+        for processor in self.processors:
+            processor.flush()
+
+    def decisions_agree(self):
+        """True if every node issued the identical trace sequence."""
+        reference = self.processors[0].decision_trace()
+        return all(
+            p.decision_trace() == reference for p in self.processors[1:]
+        )
+
+    def decision_traces(self):
+        return [p.decision_trace() for p in self.processors]

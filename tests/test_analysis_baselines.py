@@ -1,0 +1,126 @@
+"""Baseline repeat finders (LZW, tandem, quadratic) and the comparisons
+motivating Algorithm 2 (Section 4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.lzw import find_repeats_lzw, lzw_phrases
+from repro.analysis.metrics import finder_comparison
+from repro.analysis.quadratic import find_repeats_quadratic
+from repro.analysis.tandem import find_tandem_repeats, tandem_repeats
+from repro.core.coverage import is_valid_matching, matching_from_repeats
+from repro.core.repeats import covered_tokens, find_repeats
+
+
+class TestTandemRepeats:
+    def test_simple_run(self):
+        runs = tandem_repeats("abab")
+        assert (0, 2, 2) in runs
+
+    def test_triple(self):
+        runs = tandem_repeats("xyzxyzxyz")
+        assert (0, 3, 3) in runs
+
+    def test_no_tandem(self):
+        assert tandem_repeats("abcdef") == []
+
+    def test_finder_interface(self):
+        repeats = find_tandem_repeats("ababab", min_length=2)
+        assert [r.tokens for r in repeats] == [("a", "b")]
+        assert repeats[0].count == 3
+
+    def test_tandem_misses_interrupted_repeats(self):
+        """The paper's core argument: a convergence check between loop
+        iterations breaks tandem contiguity, so tandem analysis finds
+        nothing where Algorithm 2 finds the loop body."""
+        body = list("abcde")
+        stream = body + ["!"] + body + ["?"] + body
+        tandem = find_tandem_repeats(stream, min_length=5)
+        ours = find_repeats(stream, min_length=5)
+        assert tandem == []
+        assert tuple(body) in {r.tokens for r in ours}
+
+
+class TestLZW:
+    def test_phrases_grow_one_token_per_visit(self):
+        occurrences = lzw_phrases("ababababab")
+        max_len = max(len(p) for p in occurrences)
+        # After k visits, phrases have grown to ~k tokens, not the full
+        # repeat: the paper's argument for why LZW-style finders need to
+        # see a length-n trace ~n times.
+        assert max_len < 6
+
+    def test_finder_interface_valid(self):
+        repeats = find_repeats_lzw("abababab", min_length=1)
+        f = matching_from_repeats(repeats)
+        ok, reason = is_valid_matching("abababab", f)
+        assert ok, reason
+
+    def test_lzw_learns_slower_than_algorithm2(self):
+        body = list(range(20))
+        stream = body * 5  # 5 occurrences of a 20-token loop
+        lzw_cov = covered_tokens(find_repeats_lzw(stream, min_length=10))
+        our_cov = covered_tokens(find_repeats(stream, min_length=10))
+        assert our_cov > lzw_cov
+
+
+class TestQuadratic:
+    def test_agrees_on_simple_input(self):
+        ours = find_repeats("abcabc")
+        quad = find_repeats_quadratic("abcabc")
+        assert {r.tokens for r in ours} == {r.tokens for r in quad}
+
+    def test_valid_output(self):
+        s = "aabcbcbaaaabcbcbaa"
+        f = matching_from_repeats(find_repeats_quadratic(s, min_occurrences=1))
+        ok, reason = is_valid_matching(s, f)
+        assert ok, reason
+
+    @given(st.text(alphabet="abc", max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_comparable_coverage(self, s):
+        """Algorithm 2's greedy coverage is at least half the quadratic
+        reference's on random strings."""
+        ours = covered_tokens(find_repeats(s, min_occurrences=1))
+        quad = covered_tokens(find_repeats_quadratic(s, min_occurrences=1))
+        assert ours >= quad / 2 - 2
+
+
+class TestComparison:
+    def test_finder_comparison_runs_all(self):
+        stream = list("abcabcabc")
+        results = finder_comparison(
+            {
+                "algorithm2": find_repeats,
+                "lzw": find_repeats_lzw,
+                "tandem": find_tandem_repeats,
+                "quadratic": find_repeats_quadratic,
+            },
+            stream,
+            min_length=3,
+        )
+        assert {r.name for r in results} == {
+            "algorithm2", "lzw", "tandem", "quadratic"
+        }
+        for r in results:
+            assert r.seconds >= 0
+            assert 0 <= r.coverage_fraction <= 1
+
+    def test_algorithm2_scales_better_than_quadratic(self):
+        """Wall-clock ratio grows with the window (O(n log n) vs O(n^2))."""
+        import time
+
+        def timed(finder, stream):
+            t0 = time.perf_counter()
+            finder(stream, 5)
+            return time.perf_counter() - t0
+
+        small = list(range(40)) * 5
+        large = list(range(40)) * 40
+        ratio_small = timed(find_repeats_quadratic, small) / max(
+            timed(find_repeats, small), 1e-9
+        )
+        ratio_large = timed(find_repeats_quadratic, large) / max(
+            timed(find_repeats, large), 1e-9
+        )
+        assert ratio_large > ratio_small

@@ -1,0 +1,109 @@
+"""The Section 3 optimization problem (coverage, validity, Figure 2)."""
+
+import pytest
+
+from repro.core.coverage import (
+    count_intervals,
+    coverage,
+    exhaustive_best_matching,
+    figure2_example,
+    greedy_matching,
+    interval_set_disjoint,
+    is_valid_matching,
+)
+
+
+class TestFigure2:
+    def test_sequence_length(self):
+        sequence, traces, invalid, suboptimal, optimal = figure2_example()
+        assert len(sequence) == 18
+
+    def test_invalid_matching_rejected(self):
+        sequence, _, invalid, _, _ = figure2_example()
+        ok, reason = is_valid_matching(sequence, invalid)
+        assert not ok
+        assert "overlap" in reason
+
+    def test_suboptimal_coverage_is_14(self):
+        sequence, _, _, suboptimal, _ = figure2_example()
+        ok, reason = is_valid_matching(sequence, suboptimal)
+        assert ok, reason
+        assert coverage(suboptimal) == 14
+
+    def test_optimal_coverage_is_18(self):
+        sequence, _, _, _, optimal = figure2_example()
+        ok, reason = is_valid_matching(sequence, optimal)
+        assert ok, reason
+        assert coverage(optimal) == 18
+        assert coverage(optimal) == len(sequence)
+
+
+class TestValidity:
+    def test_min_length_constraint(self):
+        ok, reason = is_valid_matching("abab", {("a",): [(0, 1)]}, min_length=2)
+        assert not ok and "minimum" in reason
+
+    def test_interval_must_match_trace(self):
+        ok, reason = is_valid_matching("abab", {("a", "a"): [(0, 2)]})
+        assert not ok and "match" in reason
+
+    def test_interval_length_must_equal_trace(self):
+        ok, reason = is_valid_matching("abab", {("a", "b"): [(0, 3)]})
+        assert not ok
+
+    def test_out_of_bounds(self):
+        ok, reason = is_valid_matching("ab", {("a", "b"): [(0, 4)]})
+        assert not ok and "bounds" in reason
+
+    def test_valid_empty(self):
+        ok, _ = is_valid_matching("abab", {})
+        assert ok
+
+    def test_adjacent_intervals_ok(self):
+        ok, reason = is_valid_matching(
+            "abab", {("a", "b"): [(0, 2), (2, 4)]}
+        )
+        assert ok, reason
+
+
+class TestGreedyMatching:
+    def test_prefers_longest(self):
+        f = greedy_matching("abcabcab", [("a", "b", "c"), ("a", "b")])
+        assert f[("a", "b", "c")] == [(0, 3), (3, 6)]
+        assert f[("a", "b")] == [(6, 8)]
+
+    def test_produces_valid_matching(self):
+        sequence, traces, _, _, _ = figure2_example()
+        f = greedy_matching(sequence, traces)
+        ok, reason = is_valid_matching(sequence, f)
+        assert ok, reason
+        # Greedy longest-first reproduces the optimal matching here.
+        assert coverage(f) == 18
+
+
+class TestExhaustive:
+    def test_small_exact(self):
+        (cov, nintervals, _), f = exhaustive_best_matching("abab", min_length=2)
+        assert cov == 4
+        assert nintervals == 2
+
+    def test_guards_large_input(self):
+        with pytest.raises(ValueError):
+            exhaustive_best_matching("a" * 30)
+
+    def test_prefers_more_intervals_then_fewer_traces(self):
+        (cov, nintervals, neg_traces), f = exhaustive_best_matching(
+            "aaaa", min_length=2
+        )
+        assert cov == 4
+        assert nintervals == 2
+        assert -neg_traces == 1  # single trace "aa" matched twice
+
+
+class TestHelpers:
+    def test_interval_set_disjoint(self):
+        assert interval_set_disjoint([(0, 2), (2, 4)])
+        assert not interval_set_disjoint([(0, 3), (2, 4)])
+
+    def test_count_intervals(self):
+        assert count_intervals({"a": [(0, 1), (1, 2)], "b": [(2, 3)]}) == 3

@@ -1,0 +1,130 @@
+"""Trace finder, asynchronous jobs, and the ingestion coordinator."""
+
+import pytest
+
+from repro.core.coordination import IngestCoordinator
+from repro.core.finder import TraceFinder
+from repro.core.jobs import JobExecutor
+
+
+class TestJobExecutor:
+    def test_submit_computes_result(self):
+        ex = JobExecutor()
+        job = ex.submit(list("ababab"), 2, now_op=100)
+        assert [r.tokens for r in job.result] == [("a", "b")]
+        assert job.submitted_at_op == 100
+        assert job.completes_at_op > 100
+
+    def test_latency_grows_with_size(self):
+        ex = JobExecutor(base_latency_ops=10, per_token_latency_ops=1.0, node_id=0)
+        small = ex.submit(list("ab") * 5, 1, now_op=0)
+        large = ex.submit(list("ab") * 500, 1, now_op=0)
+        assert large.completes_at_op > small.completes_at_op
+
+    def test_jitter_differs_across_nodes(self):
+        jobs = [
+            JobExecutor(node_id=node).submit(list("abab") * 20, 2, now_op=0)
+            for node in range(8)
+        ]
+        assert len({j.completes_at_op for j in jobs}) > 1
+        # Results themselves are identical on all nodes.
+        results = [[r.tokens for r in j.result] for j in jobs]
+        assert all(r == results[0] for r in results)
+
+    def test_custom_algorithm(self):
+        calls = []
+
+        def fake(tokens, min_length):
+            calls.append(len(tokens))
+            return []
+
+        ex = JobExecutor(repeats_algorithm=fake)
+        ex.submit(list("abc"), 1, now_op=0)
+        assert calls == [3]
+
+
+class TestTraceFinder:
+    def test_multi_scale_triggers(self):
+        ex = JobExecutor()
+        finder = TraceFinder(ex, batchsize=100, multi_scale_factor=10,
+                             min_trace_length=1)
+        jobs = [finder.observe(i % 5) for i in range(100)]
+        submitted = [j for j in jobs if j is not None]
+        assert len(submitted) == 10
+        sizes = [j.num_tokens for j in submitted]
+        assert sizes[0] == 10 and max(sizes) <= 100
+
+    def test_window_too_small_skipped(self):
+        ex = JobExecutor()
+        finder = TraceFinder(ex, batchsize=100, multi_scale_factor=10,
+                             min_trace_length=20)
+        jobs = [finder.observe(i % 5) for i in range(10)]
+        # Slice of 10 < 2*min_trace_length(20): no job submitted.
+        assert all(j is None for j in jobs)
+
+    def test_fixed_strategy(self):
+        ex = JobExecutor()
+        finder = TraceFinder(ex, batchsize=50, multi_scale_factor=10,
+                             min_trace_length=1, identifier_algorithm="fixed")
+        jobs = [finder.observe(i % 5) for i in range(150)]
+        submitted = [j for j in jobs if j is not None]
+        assert len(submitted) == 3
+        assert all(j.num_tokens == 50 for j in submitted)
+
+    def test_bad_identifier_rejected(self):
+        with pytest.raises(ValueError):
+            TraceFinder(JobExecutor(), identifier_algorithm="magic")
+
+    def test_drain_in_fifo_order(self):
+        ex = JobExecutor(base_latency_ops=5, per_token_latency_ops=0.0)
+        finder = TraceFinder(ex, batchsize=40, multi_scale_factor=10,
+                             min_trace_length=1)
+        for i in range(40):
+            finder.observe(i % 4)
+        drained = finder.drain_completed(now_op=10**6)
+        ids = [j.job_id for j in drained]
+        assert ids == sorted(ids)
+
+    def test_drain_respects_completion(self):
+        ex = JobExecutor(base_latency_ops=1000, per_token_latency_ops=0.0)
+        finder = TraceFinder(ex, batchsize=40, multi_scale_factor=10,
+                             min_trace_length=1)
+        for i in range(40):
+            finder.observe(i % 4)
+        assert finder.drain_completed(now_op=41) == []
+        assert len(finder.drain_completed(now_op=10**6)) == 4
+
+
+class TestIngestCoordinator:
+    def test_agreement_is_sticky(self):
+        c = IngestCoordinator(initial_margin_ops=100)
+        assert c.agree(0, 50) == 150
+        # A second node agreeing later sees the same point.
+        assert c.agree(0, 50) == 150
+
+    def test_margin_grows_on_wait(self):
+        c = IngestCoordinator(initial_margin_ops=100, growth_factor=2.0)
+        c.agree(0, 0)
+        new = c.report_wait(0, lateness_ops=500)
+        assert new >= 600
+        assert c.waits == 1
+        # Future jobs use the grown margin.
+        assert c.agree(1, 1000) == 1000 + new
+
+    def test_steady_state_no_more_waits(self):
+        """After enough growth, ingest points exceed job latencies and the
+        protocol stops stalling (the paper's steady-state claim)."""
+        c = IngestCoordinator(initial_margin_ops=1, growth_factor=2.0)
+        latency = 300
+        waits = 0
+        for job in range(20):
+            submit = job * 100
+            agreed = c.agree(job, submit)
+            completes = submit + latency
+            if agreed < completes:
+                c.report_wait(job, completes - agreed)
+                waits += 1
+        assert waits < 10
+        # The last several jobs never waited.
+        tail_agreed = c.agree(100, 0)
+        assert tail_agreed >= latency

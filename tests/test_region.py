@@ -1,0 +1,119 @@
+"""Region trees, partitions, and the disjointness test."""
+
+import pytest
+
+from repro.runtime.errors import RegionTreeError
+from repro.runtime.region import PartitionKind, RegionForest
+
+
+@pytest.fixture
+def forest():
+    return RegionForest()
+
+
+class TestCreation:
+    def test_create_region(self, forest):
+        r = forest.create_region((100, 100), fields=("u", "v"), name="grid")
+        assert r.is_root
+        assert r.fields == {"u", "v"}
+        assert r.root is r
+        assert r.depth == 0
+
+    def test_unique_uids(self, forest):
+        a = forest.create_region((10,))
+        b = forest.create_region((10,))
+        assert a.uid != b.uid
+
+    def test_partition_by_count(self, forest):
+        r = forest.create_region((100,))
+        p = forest.create_partition(r, 4)
+        assert p.colors() == [0, 1, 2, 3]
+        assert p.is_disjoint
+        for color in range(4):
+            sub = p.subregion(color)
+            assert sub.parent is p
+            assert sub.root is r
+            assert sub.depth == 1
+
+    def test_partition_by_colors(self, forest):
+        r = forest.create_region((100,))
+        p = forest.create_partition(r, ["left", "right"])
+        assert p.subregion("left").color == "left"
+
+    def test_bad_partition(self, forest):
+        r = forest.create_region((100,))
+        with pytest.raises(RegionTreeError):
+            forest.create_partition(r, 0)
+        p = forest.create_partition(r, 2)
+        with pytest.raises(RegionTreeError):
+            p.subregion(7)
+
+
+class TestDisjointness:
+    def test_region_aliases_itself(self, forest):
+        r = forest.create_region((10,))
+        assert not RegionForest.disjoint(r, r)
+        assert RegionForest.overlaps(r, r)
+
+    def test_different_trees_disjoint(self, forest):
+        a = forest.create_region((10,))
+        b = forest.create_region((10,))
+        assert RegionForest.disjoint(a, b)
+
+    def test_disjoint_partition_siblings(self, forest):
+        r = forest.create_region((100,))
+        p = forest.create_partition(r, 2)
+        assert RegionForest.disjoint(p.subregion(0), p.subregion(1))
+
+    def test_aliased_partition_siblings_overlap(self, forest):
+        r = forest.create_region((100,))
+        p = forest.create_partition(r, 2, kind=PartitionKind.ALIASED)
+        assert RegionForest.overlaps(p.subregion(0), p.subregion(1))
+
+    def test_ancestor_overlaps_descendant(self, forest):
+        r = forest.create_region((100,))
+        p = forest.create_partition(r, 2)
+        assert RegionForest.overlaps(r, p.subregion(0))
+        assert RegionForest.overlaps(p.subregion(1), r)
+
+    def test_nested_disjointness(self, forest):
+        r = forest.create_region((100,))
+        p = forest.create_partition(r, 2)
+        q0 = forest.create_partition(p.subregion(0), 2)
+        q1 = forest.create_partition(p.subregion(1), 2)
+        # Cousins under different disjoint colors are disjoint.
+        assert RegionForest.disjoint(q0.subregion(0), q1.subregion(1))
+        # Siblings within the nested disjoint partition are disjoint.
+        assert RegionForest.disjoint(q0.subregion(0), q0.subregion(1))
+        # Nephew overlaps uncle's parent but not the other top color.
+        assert RegionForest.overlaps(q0.subregion(0), p.subregion(0))
+        assert RegionForest.disjoint(q0.subregion(0), p.subregion(1))
+
+    def test_two_partitions_of_same_region_alias(self, forest):
+        r = forest.create_region((100,))
+        p1 = forest.create_partition(r, 2)
+        p2 = forest.create_partition(r, 3)
+        # Different partitions of the same region may overlap.
+        assert RegionForest.overlaps(p1.subregion(0), p2.subregion(2))
+
+    def test_aliased_nested_in_disjoint(self, forest):
+        r = forest.create_region((100,))
+        p = forest.create_partition(r, 2)
+        q = forest.create_partition(
+            p.subregion(0), 2, kind=PartitionKind.ALIASED
+        )
+        assert RegionForest.overlaps(q.subregion(0), q.subregion(1))
+        assert RegionForest.disjoint(q.subregion(0), p.subregion(1))
+
+
+class TestPaths:
+    def test_path_from_root(self, forest):
+        r = forest.create_region((100,))
+        p = forest.create_partition(r, 2)
+        q = forest.create_partition(p.subregion(1), 2)
+        leaf = q.subregion(0)
+        path = leaf.path_from_root()
+        assert [(part.uid, color) for part, color in path] == [
+            (p.uid, 1),
+            (q.uid, 0),
+        ]

@@ -1,0 +1,167 @@
+"""The trace replayer state machine on synthetic token streams."""
+
+import pytest
+
+from repro.core.repeats import Repeat
+from repro.core.replayer import TraceReplayer
+from repro.core.scoring import ScoringPolicy
+
+
+class Harness:
+    """Collects the replayer's output and checks ordering invariants."""
+
+    def __init__(self, **kwargs):
+        self.events = []  # ("flush"|"trace", payload)
+        self.forwarded = []
+        self.replayer = TraceReplayer(
+            on_flush=self._flush, on_trace=self._trace, **kwargs
+        )
+
+    def _flush(self, tasks):
+        self.events.append(("flush", list(tasks)))
+        self.forwarded.extend(tasks)
+
+    def _trace(self, candidate, chunk_index, tasks):
+        self.events.append(("trace", candidate.tokens, list(tasks)))
+        self.forwarded.extend(tasks)
+
+    def feed(self, tokens):
+        for i, token in enumerate(tokens, start=self.replayer.stream_index):
+            # task payload == (index, token) so ordering is checkable
+            self.replayer.process((i, token), token)
+
+    def finish(self):
+        self.replayer.flush_all()
+
+    def traces(self):
+        return [e for e in self.events if e[0] == "trace"]
+
+
+class TestForwardingInvariants:
+    def test_no_candidates_flushes_everything_in_order(self):
+        h = Harness(min_trace_length=2)
+        h.feed("abcdefg")
+        h.finish()
+        assert [t[1] for t in h.forwarded] == list("abcdefg")
+        assert not h.traces()
+
+    def test_every_task_forwarded_exactly_once(self):
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 2])])
+        h.feed("abababx" * 10)
+        h.finish()
+        assert [t[0] for t in h.forwarded] == list(range(70))
+
+    def test_order_preserved_with_traces(self):
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("bc", [0, 3])])
+        h.feed("abcabcabc")
+        h.finish()
+        assert [t[0] for t in h.forwarded] == list(range(9))
+
+
+class TestMatching:
+    def test_simple_trace_fires(self):
+        h = Harness(min_trace_length=3)
+        h.replayer.ingest([Repeat("abc", [0, 3])])
+        h.feed("abcabc")
+        h.finish()
+        assert len(h.traces()) == 2
+        assert h.replayer.stats.tasks_traced == 6
+
+    def test_min_length_rejected_at_ingest(self):
+        h = Harness(min_trace_length=5)
+        h.replayer.ingest([Repeat("abc", [0, 3])])
+        h.feed("abcabc")
+        h.finish()
+        assert not h.traces()
+        assert h.replayer.stats.candidates_ingested == 0
+
+    def test_prefers_longer_candidate(self):
+        h = Harness(min_trace_length=2, scoring=ScoringPolicy(decay_rate=0.0))
+        h.replayer.ingest([Repeat("ab", [0, 2]), Repeat("abab", [0, 4])])
+        h.feed("abababab")
+        h.finish()
+        lengths = [len(t[2]) for t in h.traces()]
+        assert 4 in lengths  # the longer candidate wins
+
+    def test_deferral_commits_when_extension_dies(self):
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 5]), Repeat("abcd", [0, 10])])
+        h.feed("abxx")
+        h.finish()
+        # 'ab' completed, waited for 'abcd', which died at 'x': fires 'ab'.
+        assert [t[1] for t in h.traces()] == [("a", "b")]
+        assert [t[0] for t in h.forwarded] == [0, 1, 2, 3]
+
+    def test_disjoint_match_after_deferral_is_recovered(self):
+        """While 'ab' defers (hoping for 'abcd'), a later disjoint 'cd'
+        completes; after the deferral dies both fire via reprocessing."""
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 5]), Repeat("abq", [0, 10]),
+                           Repeat("cd", [0, 5])])
+        h.feed("abcdcd")
+        h.finish()
+        fired = [t[1] for t in h.traces()]
+        assert ("a", "b") in fired
+        assert fired.count(("c", "d")) == 2
+
+    def test_occurrences_counted(self):
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 2])])
+        h.feed("ababab")
+        h.finish()
+        cand = next(iter(h.replayer.trie.candidates.values()))
+        assert cand.occurrences >= 3  # 2 seeded + online matches
+
+    def test_seeded_occurrences_from_miner(self):
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 2, 4, 6])])
+        cand = next(iter(h.replayer.trie.candidates.values()))
+        assert cand.occurrences == 4
+
+
+class TestChunking:
+    def test_max_trace_length_chunks(self):
+        h = Harness(min_trace_length=2, max_trace_length=4)
+        h.replayer.ingest([Repeat("abcdefgh", [0, 8])])
+        h.feed("abcdefgh" * 2)
+        h.finish()
+        trace_lengths = [len(t[2]) for t in h.traces()]
+        assert trace_lengths == [4, 4, 4, 4]
+
+    def test_runt_chunk_flushed(self):
+        h = Harness(min_trace_length=4, max_trace_length=4)
+        h.replayer.ingest([Repeat("abcdef", [0, 6])])
+        h.feed("abcdef" * 2)
+        h.finish()
+        # 6 = 4 + 2; the 2-task runt is below min length -> flushed.
+        trace_lengths = [len(t[2]) for t in h.traces()]
+        assert trace_lengths == [4, 4]
+        assert h.replayer.stats.tasks_flushed >= 4
+
+    def test_chunk_indices_stable_across_fires(self):
+        chunks = []
+        r = TraceReplayer(
+            on_flush=lambda ts: None,
+            on_trace=lambda c, i, ts: chunks.append((c.trace_id, i, len(ts))),
+            min_trace_length=2,
+            max_trace_length=3,
+        )
+        r.ingest([Repeat("abcdef", [0, 6])])
+        for rep in range(2):
+            for i, tok in enumerate("abcdef"):
+                r.process(object(), tok)
+        r.flush_all()
+        assert chunks[:2] == chunks[2:4]  # same (id, chunk, len) pairs
+
+
+class TestRecordedReplayedFlags:
+    def test_first_fire_records_then_replays(self):
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 2])])
+        h.feed("abab")
+        h.finish()
+        cand = next(iter(h.replayer.trie.candidates.values()))
+        assert cand.recorded
+        assert cand.replayed  # fired at least twice

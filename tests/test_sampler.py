@@ -1,0 +1,69 @@
+"""Ruler-function multi-scale sampling (Section 4.4, Figure 5)."""
+
+import pytest
+
+from repro.core.sampler import MultiScaleSampler, ruler, ruler_powers
+
+
+class TestRuler:
+    def test_first_values(self):
+        # ruler(1..8) = 0 1 0 2 0 1 0 3
+        assert [ruler(k) for k in range(1, 9)] == [0, 1, 0, 2, 0, 1, 0, 3]
+
+    def test_powers_figure5(self):
+        # 2**ruler: 1 2 1 4 1 2 1 8 -- the Figure 5 schedule for size 8.
+        assert ruler_powers(8) == [1, 2, 1, 4, 1, 2, 1, 8]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ruler(0)
+
+
+class TestMultiScaleSampler:
+    def test_figure5_schedule(self):
+        """Buffer of 8, factor 1: slice sizes follow 1 2 1 4 1 2 1 8."""
+        sampler = MultiScaleSampler(factor=1, capacity=8)
+        sizes = [sampler.observe() for _ in range(8)]
+        assert sizes == [1, 2, 1, 4, 1, 2, 1, 8]
+
+    def test_factor_gates_triggers(self):
+        sampler = MultiScaleSampler(factor=250, capacity=1000)
+        sizes = [sampler.observe() for _ in range(1000)]
+        triggers = [(i + 1, s) for i, s in enumerate(sizes) if s is not None]
+        assert [t[0] for t in triggers] == [250, 500, 750, 1000]
+        assert [t[1] for t in triggers] == [250, 500, 250, 1000]
+
+    def test_slices_capped_at_capacity(self):
+        sampler = MultiScaleSampler(factor=100, capacity=250)
+        sizes = [s for s in (sampler.observe() for _ in range(2000)) if s]
+        assert max(sizes) <= 250
+
+    def test_schedule_is_periodic(self):
+        sampler = MultiScaleSampler(factor=1, capacity=4)
+        sizes = [sampler.observe() for _ in range(12)]
+        assert sizes == [1, 2, 1, 4] * 3
+
+    def test_full_buffer_sampled_regularly(self):
+        """The largest slice (the full buffer) recurs, so long traces are
+        eventually discoverable (the H2-H4/H5-H7 example of Figure 5)."""
+        sampler = MultiScaleSampler(factor=1, capacity=8)
+        sizes = [sampler.observe() for _ in range(32)]
+        assert sizes.count(8) == 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MultiScaleSampler(factor=0, capacity=8)
+        with pytest.raises(ValueError):
+            MultiScaleSampler(factor=1, capacity=0)
+
+    def test_total_work_bound(self):
+        """Sampled work is O(n log n) tokens over n arrivals: the log^2
+        bound of Section 4.4 given the O(n log n) miner."""
+        import math
+
+        factor, capacity = 10, 640
+        sampler = MultiScaleSampler(factor=factor, capacity=capacity)
+        n = 6400
+        total = sum(s for s in (sampler.observe() for _ in range(n)) if s)
+        bound = n * (math.log2(capacity / factor) + 2)
+        assert total <= bound

@@ -1,0 +1,79 @@
+"""The trace selection scoring function (Section 4.3)."""
+
+import math
+
+from repro.core.scoring import ScoringPolicy
+from repro.core.trie import CandidateTrie, CompletedMatch
+
+
+def candidate(length=10, occurrences=1, last_seen=None, replayed=False):
+    trie = CandidateTrie()
+    c = trie.insert(tuple(range(length)))
+    c.occurrences = occurrences
+    c.last_seen_at = last_seen
+    c.replayed = replayed
+    return c
+
+
+class TestScore:
+    def test_length_times_count(self):
+        policy = ScoringPolicy(decay_rate=0.0)
+        assert policy.score(candidate(10, 3), 0) == 30
+
+    def test_count_is_capped(self):
+        policy = ScoringPolicy(count_cap=16, decay_rate=0.0)
+        assert policy.score(candidate(10, 1000), 0) == 160
+
+    def test_decay_by_idleness(self):
+        policy = ScoringPolicy(decay_rate=0.01)
+        fresh = policy.score(candidate(10, 4, last_seen=100), 100)
+        stale = policy.score(candidate(10, 4, last_seen=0), 100)
+        assert stale < fresh
+        assert math.isclose(stale, fresh * math.exp(-1.0))
+
+    def test_replay_bonus(self):
+        policy = ScoringPolicy(decay_rate=0.0, replay_bonus=1.5)
+        base = policy.score(candidate(10, 2), 0)
+        boosted = policy.score(candidate(10, 2, replayed=True), 0)
+        assert math.isclose(boosted, base * 1.5)
+
+    def test_never_seen_has_no_decay(self):
+        policy = ScoringPolicy(decay_rate=1.0)
+        assert policy.score(candidate(10, 2, last_seen=None), 10**6) == 20
+
+    def test_potential_is_length_dominant(self):
+        """Potential scores at the full count cap (optimistic), so a
+        strictly longer live candidate always out-potentials a locked-in
+        shorter trace's score."""
+        policy = ScoringPolicy(decay_rate=0.0, count_cap=16, replay_bonus=1.1)
+        short = candidate(420, 1000, replayed=True)  # capped + bonus
+        long = candidate(421, 0)
+        assert policy.potential(long, 0) > policy.score(short, 0)
+        assert policy.potential(long, 0) == 421 * 16 * 1.1
+
+    def test_longer_stale_vs_short_fresh(self):
+        """Decay lets a fresh steady-state trace beat a long trace that
+        stopped appearing -- the anti-disruption property."""
+        policy = ScoringPolicy(decay_rate=1e-2, count_cap=16)
+        long_stale = candidate(100, 16, last_seen=0)
+        short_fresh = candidate(20, 16, last_seen=2000, replayed=True)
+        now = 2000
+        assert policy.score(short_fresh, now) > policy.score(long_stale, now)
+
+
+class TestBest:
+    def test_best_empty(self):
+        assert ScoringPolicy().best([], 0) is None
+
+    def test_best_picks_highest_score(self):
+        policy = ScoringPolicy(decay_rate=0.0)
+        short = CompletedMatch(candidate(5, 10), 0, 5)
+        long = CompletedMatch(candidate(50, 10), 0, 50)
+        assert policy.best([short, long], 50) is long
+
+    def test_tie_breaks_to_earlier_start(self):
+        policy = ScoringPolicy(decay_rate=0.0)
+        c = candidate(5, 4)
+        a = CompletedMatch(c, 0, 5)
+        b = CompletedMatch(c, 3, 8)
+        assert policy.best([a, b], 8) is a

@@ -1,0 +1,104 @@
+"""Suffix array and LCP construction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.suffix_array import lcp_array, rank_compress, suffix_array
+
+
+def naive_suffix_array(s):
+    s = rank_compress(s)
+    return sorted(range(len(s)), key=lambda i: s[i:])
+
+
+def naive_lcp(s, sa):
+    s = rank_compress(s)
+    out = []
+    for a, b in zip(sa, sa[1:]):
+        n = 0
+        while a + n < len(s) and b + n < len(s) and s[a + n] == s[b + n]:
+            n += 1
+        out.append(n)
+    return out
+
+
+class TestSuffixArray:
+    def test_empty(self):
+        assert suffix_array([]) == []
+
+    def test_single(self):
+        assert suffix_array(["x"]) == [0]
+
+    def test_banana(self):
+        assert suffix_array("banana") == naive_suffix_array("banana")
+
+    def test_paper_string(self):
+        # The Figure 4 example string.
+        assert suffix_array("aabcbcbaa") == [8, 7, 0, 1, 6, 4, 2, 5, 3]
+
+    def test_all_equal(self):
+        assert suffix_array("aaaa") == [3, 2, 1, 0]
+
+    def test_distinct(self):
+        s = list(range(10))
+        assert suffix_array(s) == list(range(10))
+
+    def test_arbitrary_hashables(self):
+        s = [("t", 1), ("t", 2), ("t", 1), ("t", 2)]
+        sa = suffix_array(s)
+        assert sorted(sa) == [0, 1, 2, 3]
+        assert sa == naive_suffix_array(s)
+
+    @given(st.lists(st.integers(0, 4), max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_naive(self, s):
+        assert suffix_array(s) == naive_suffix_array(s)
+
+    @given(st.text(alphabet="abc", max_size=80))
+    @settings(max_examples=100, deadline=None)
+    def test_is_permutation_and_sorted(self, s):
+        r = rank_compress(s)
+        sa = suffix_array(s)
+        assert sorted(sa) == list(range(len(s)))
+        for a, b in zip(sa, sa[1:]):
+            assert r[a:] <= r[b:]
+
+
+class TestLCP:
+    def test_empty(self):
+        assert lcp_array([]) == []
+
+    def test_single(self):
+        assert lcp_array(["x"]) == []
+
+    def test_banana(self):
+        s = "banana"
+        sa = suffix_array(s)
+        assert lcp_array(s, sa) == naive_lcp(s, sa)
+
+    def test_paper_string_values(self):
+        s = "aabcbcbaa"
+        sa = suffix_array(s)
+        # Adjacent suffix overlaps used in Figure 4: aa/a pairs share 'a',
+        # bcbaa/bcbcbaa share 'bc' etc.
+        assert lcp_array(s, sa) == naive_lcp(s, sa)
+
+    @given(st.lists(st.integers(0, 3), max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_naive(self, s):
+        sa = suffix_array(s)
+        assert lcp_array(s, sa) == naive_lcp(s, sa)
+
+    def test_lcp_without_precomputed_sa(self):
+        s = "mississippi"
+        assert lcp_array(s) == naive_lcp(s, suffix_array(s))
+
+
+class TestRankCompress:
+    def test_preserves_equality_structure(self):
+        s = ["x", "y", "x", "z", "y"]
+        r = rank_compress(s)
+        assert r == [0, 1, 0, 2, 1]
+
+    def test_empty(self):
+        assert rank_compress([]) == []

@@ -1,0 +1,125 @@
+"""Candidate trie and active-pointer matching."""
+
+import pytest
+
+from repro.core.trie import CandidateTrie
+
+
+def advance_all(trie, tokens, start=0):
+    completed = []
+    for i, token in enumerate(tokens, start=start):
+        completed.extend(trie.advance(token, i))
+    return completed
+
+
+class TestInsert:
+    def test_insert_and_lookup(self):
+        trie = CandidateTrie()
+        c = trie.insert("abc")
+        assert c.length == 3
+        assert len(trie) == 1
+
+    def test_reinsert_is_noop(self):
+        trie = CandidateTrie()
+        c1 = trie.insert("abc")
+        c2 = trie.insert("abc")
+        assert c1 is c2
+        assert len(trie) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CandidateTrie().insert("")
+
+    def test_max_below_and_deep(self):
+        trie = CandidateTrie()
+        short = trie.insert("ab")
+        long = trie.insert("abcd")
+        node = trie.root.children["a"]
+        assert node.max_below == 4
+        assert node.deep is long
+        terminal = node.children["b"]
+        assert terminal.candidate is short
+        assert terminal.max_below == 4
+
+    def test_remove(self):
+        trie = CandidateTrie()
+        c = trie.insert("ab")
+        trie.remove(c)
+        assert len(trie) == 0
+        assert advance_all(trie, "abab") == []
+
+
+class TestMatching:
+    def test_simple_match(self):
+        trie = CandidateTrie()
+        c = trie.insert("abc")
+        completed = advance_all(trie, "xxabcyy")
+        assert len(completed) == 1
+        match = completed[0]
+        assert match.candidate is c
+        assert (match.start_index, match.end_index) == (2, 5)
+
+    def test_overlapping_occurrences_all_reported(self):
+        trie = CandidateTrie()
+        trie.insert("aa")
+        completed = advance_all(trie, "aaaa")
+        # matches at [0,2), [1,3), [2,4)
+        assert [(m.start_index, m.end_index) for m in completed] == [
+            (0, 2),
+            (1, 3),
+            (2, 4),
+        ]
+
+    def test_prefix_and_extension_both_complete(self):
+        trie = CandidateTrie()
+        short = trie.insert("ab")
+        long = trie.insert("abcd")
+        completed = advance_all(trie, "abcd")
+        kinds = {(m.candidate.length, m.start_index) for m in completed}
+        assert kinds == {(2, 0), (4, 0)}
+
+    def test_no_false_matches(self):
+        trie = CandidateTrie()
+        trie.insert("abc")
+        assert advance_all(trie, "ababab") == []
+
+    def test_match_node_exposed(self):
+        trie = CandidateTrie()
+        trie.insert("ab")
+        trie.insert("abc")
+        (m,) = advance_all(trie, "ab")
+        assert m.node.depth == 2
+        assert m.node.max_below == 3
+
+    def test_reset_pointers(self):
+        trie = CandidateTrie()
+        trie.insert("abc")
+        trie.advance("a", 0)
+        trie.advance("b", 1)
+        trie.reset_pointers()
+        assert trie.advance("c", 2) == []
+
+    def test_earliest_active_start(self):
+        trie = CandidateTrie()
+        trie.insert("abc")
+        trie.insert("bcx")
+        assert trie.earliest_active_start() is None
+        trie.advance("a", 0)
+        assert trie.earliest_active_start() == 0
+        trie.advance("b", 1)
+        # pointer for "abc" at depth 2 plus a new pointer for "bcx" at 1
+        assert trie.earliest_active_start() == 0
+
+    def test_multiple_candidates_same_token_prefix(self):
+        trie = CandidateTrie()
+        c1 = trie.insert("ab")
+        c2 = trie.insert("ac")
+        done = advance_all(trie, "acab")
+        assert [m.candidate for m in done] == [c2, c1]
+
+    def test_self_overlapping_candidate_periodic_stream(self):
+        trie = CandidateTrie()
+        trie.insert("abab")
+        completed = advance_all(trie, "ababab")
+        starts = [m.start_index for m in completed]
+        assert starts == [0, 2]
