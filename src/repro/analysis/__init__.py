@@ -17,7 +17,11 @@ short of Algorithm 2 and motivates its design:
 
 All finders share the ``(tokens, min_length) -> list[Repeat]`` interface so
 they can be swapped into Apophenia via
-``ApopheniaConfig(repeats_algorithm=...)``.
+``ApopheniaConfig(repeats_algorithm=...)``. They also share Algorithm 2's
+rank-compression contract: each finder compresses its window to dense
+integer ranks exactly once (:func:`repro.core.suffix_array.rank_compress`)
+and runs its inner loops over small ints, mapping back to the original
+tokens only when emitting :class:`~repro.core.repeats.Repeat` objects.
 """
 
 from repro.analysis.lzw import find_repeats_lzw

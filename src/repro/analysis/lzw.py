@@ -13,6 +13,7 @@ the output is comparable to Algorithm 2's.
 """
 
 from repro.core.repeats import Repeat
+from repro.core.suffix_array import rank_compress
 
 
 def lzw_phrases(tokens):
@@ -46,7 +47,11 @@ def lzw_phrases(tokens):
 def find_repeats_lzw(tokens, min_length=1, min_occurrences=2):
     """LZW baseline with Algorithm 2's interface."""
     tokens = list(tokens)
-    occurrences = lzw_phrases(tokens)
+    # Compress once: the dictionary is keyed by token tuples, and hashing
+    # small-int tuples is much cheaper than hashing arbitrary tokens.
+    # Phrases are mapped back to the original tokens on output.
+    s = rank_compress(tokens)
+    occurrences = lzw_phrases(s)
     covered = bytearray(len(tokens))
     repeats = []
     # Prefer long phrases, mirroring the greedy selection of Algorithm 2.
@@ -58,9 +63,9 @@ def find_repeats_lzw(tokens, min_length=1, min_occurrences=2):
             end = pos + len(phrase)
             if end <= len(tokens) and not (covered[pos] or covered[end - 1]):
                 kept.append(pos)
-                for k in range(pos, end):
-                    covered[k] = 1
+                covered[pos:end] = b"\x01" * (end - pos)
         if len(kept) >= min_occurrences:
-            repeats.append(Repeat(phrase, kept))
+            first = kept[0]
+            repeats.append(Repeat(tokens[first : first + len(phrase)], kept))
     repeats.sort(key=lambda r: (-r.length, r.positions[0]))
     return repeats

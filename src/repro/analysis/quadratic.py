@@ -9,6 +9,7 @@ quality reference in the ablation benchmarks.
 """
 
 from repro.core.repeats import Repeat
+from repro.core.suffix_array import rank_compress
 
 
 def find_repeats_quadratic(tokens, min_length=1, min_occurrences=2):
@@ -17,6 +18,10 @@ def find_repeats_quadratic(tokens, min_length=1, min_occurrences=2):
     n = len(tokens)
     covered = bytearray(n)
     selected = {}
+    # Compress once and run the O(n^2) DP over dense ints: the inner loop
+    # compares tokens n^2/2 times, and int equality is far cheaper than
+    # arbitrary-token equality (task hashes, strings, tuples).
+    s = rank_compress(tokens)
 
     # For each start position, the longest repeated substring beginning
     # there, computed by dynamic programming on pairwise common prefixes:
@@ -26,7 +31,7 @@ def find_repeats_quadratic(tokens, min_length=1, min_occurrences=2):
     for i in range(n - 1, -1, -1):
         cur = [0] * (n + 1)
         for j in range(n - 1, i, -1):
-            if tokens[i] == tokens[j]:
+            if s[i] == s[j]:
                 common = prev[j + 1] + 1
                 cur[j] = common
                 # Non-overlap limits the usable length to the gap.
@@ -42,18 +47,19 @@ def find_repeats_quadratic(tokens, min_length=1, min_occurrences=2):
         length = longest[start]
         while length >= min_length:
             end = start + length
-            if end <= n and not (covered[start] or covered[end - 1]) and not any(
-                covered[start:end]
+            if (
+                end <= n
+                and not (covered[start] or covered[end - 1])
+                and covered.find(1, start, end) < 0
             ):
-                key = tuple(tokens[start:end])
+                key = tuple(s[start:end])
                 selected.setdefault(key, []).append(start)
-                for k in range(start, end):
-                    covered[k] = 1
+                covered[start:end] = b"\x01" * (end - start)
                 break
             length -= 1
 
     repeats = [
-        Repeat(key, positions)
+        Repeat(tokens[positions[0] : positions[0] + len(key)], positions)
         for key, positions in selected.items()
         if len(positions) >= min_occurrences
     ]

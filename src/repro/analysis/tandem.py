@@ -12,6 +12,7 @@ output to Algorithm 2's interface.
 """
 
 from repro.core.repeats import Repeat
+from repro.core.suffix_array import rank_compress
 
 
 def tandem_repeats(tokens, min_period=1):
@@ -23,19 +24,22 @@ def tandem_repeats(tokens, min_period=1):
     extended to the right. Runs that are contained in a longer run of a
     smaller period at the same position are suppressed.
     """
-    tokens = list(tokens)
-    n = len(tokens)
+    # Compress once: the O(n^2) run enumeration compares period-length
+    # slices, and comparing lists of small ints beats comparing slices of
+    # arbitrary tokens.
+    s = rank_compress(tokens)
+    n = len(s)
     runs = []
     seen_spans = set()
     for period in range(min_period, n // 2 + 1):
         start = 0
         while start + 2 * period <= n:
-            # Count repetitions of tokens[start:start+period].
+            # Count repetitions of s[start:start+period].
             reps = 1
             while (
                 start + (reps + 1) * period <= n
-                and tokens[start + reps * period : start + (reps + 1) * period]
-                == tokens[start : start + period]
+                and s[start + reps * period : start + (reps + 1) * period]
+                == s[start : start + period]
             ):
                 reps += 1
             if reps >= 2:
@@ -73,8 +77,7 @@ def find_tandem_repeats(tokens, min_length=1, min_occurrences=2):
         positions = by_alpha.setdefault(alpha, [])
         for k in range(reps):
             positions.append(start + k * period)
-        for k in range(start, span_end):
-            covered[k] = 1
+        covered[start:span_end] = b"\x01" * (span_end - start)
     repeats = [
         Repeat(alpha, positions)
         for alpha, positions in by_alpha.items()

@@ -4,6 +4,9 @@ The subpackage implements the paper's core contribution:
 
 * :mod:`repro.core.hashing` -- task -> token hashing (Section 4.1),
 * :mod:`repro.core.suffix_array` -- suffix array + LCP construction,
+* :mod:`repro.core.sa_backends` -- pluggable suffix-array builders
+  (``sais``/``radix``/``doubling``, selected by ``ApopheniaConfig`` or
+  the ``REPRO_SA_BACKEND`` environment variable),
 * :mod:`repro.core.repeats` -- Algorithm 2: non-overlapping repeated
   substrings with high coverage in O(n log n) (Section 4.2),
 * :mod:`repro.core.trie` -- candidate trie and active-pointer matching
@@ -24,13 +27,16 @@ The subpackage implements the paper's core contribution:
 
 from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
 from repro.core.repeats import find_repeats
+from repro.core.sa_backends import available_backends, get_backend
 from repro.core.suffix_array import suffix_array, lcp_array
 from repro.core.coverage import coverage, is_valid_matching
 
 __all__ = [
     "ApopheniaConfig",
     "ApopheniaProcessor",
+    "available_backends",
     "find_repeats",
+    "get_backend",
     "suffix_array",
     "lcp_array",
     "coverage",

@@ -8,6 +8,7 @@ its candidate trie.
 """
 
 from collections import deque
+from itertools import islice
 
 from repro.core.sampler import MultiScaleSampler
 
@@ -63,7 +64,15 @@ class TraceFinder:
         slice_size = self._trigger_size()
         if slice_size is None:
             return None
-        tokens = list(self.buffer)[-slice_size:]
+        # Copy only the analyzed tail. A deque iterates O(1) per step from
+        # either end, so walking ``reversed(buffer)`` for ``slice_size``
+        # steps costs O(slice); slicing ``list(buffer)`` would pay
+        # O(batchsize) per trigger regardless of the slice mined.
+        if slice_size >= len(self.buffer):
+            tokens = list(self.buffer)
+        else:
+            tokens = list(islice(reversed(self.buffer), slice_size))
+            tokens.reverse()
         if len(tokens) < 2 * self.min_trace_length:
             # A repeat cannot fit twice; skip the analysis entirely.
             return None

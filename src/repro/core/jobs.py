@@ -12,6 +12,7 @@ the distributed agreement protocol (Section 5.1) has real skew to resolve.
 """
 
 import itertools
+from collections import OrderedDict
 
 from repro.core.repeats import find_repeats
 
@@ -56,6 +57,14 @@ class JobExecutor:
         Completion-time model, in units of processed operations.
     node_id:
         Used to derive deterministic per-node jitter.
+    memo_capacity:
+        Number of recent ``(window, min_length) -> result`` entries kept.
+        Steady-state iterative applications keep re-mining identical
+        buffer slices (the multi-scale schedule revisits the same sizes
+        and a converged stream repeats exactly); the memo answers those
+        jobs without re-running the analysis. Results are deterministic
+        functions of the window, so reuse cannot change any decision.
+        Set to 0 to disable.
     """
 
     def __init__(
@@ -64,19 +73,39 @@ class JobExecutor:
         base_latency_ops=50,
         per_token_latency_ops=0.05,
         node_id=0,
+        memo_capacity=8,
     ):
         self.repeats_algorithm = repeats_algorithm
         self.base_latency_ops = base_latency_ops
         self.per_token_latency_ops = per_token_latency_ops
         self.node_id = node_id
+        self.memo_capacity = memo_capacity
+        self._memo = OrderedDict()
         self._ids = itertools.count()
         self.jobs_submitted = 0
         self.tokens_analyzed = 0
+        self.memo_hits = 0
+
+    def _mine(self, tokens, min_length):
+        """Run the repeat finder, reusing a memoized identical window."""
+        if not self.memo_capacity:
+            return self.repeats_algorithm(tokens, min_length)
+        key = (tuple(tokens), min_length)
+        result = self._memo.get(key)
+        if result is not None:
+            self._memo.move_to_end(key)
+            self.memo_hits += 1
+            return result
+        result = self.repeats_algorithm(tokens, min_length)
+        self._memo[key] = result
+        if len(self._memo) > self.memo_capacity:
+            self._memo.popitem(last=False)
+        return result
 
     def submit(self, tokens, min_length, now_op):
         """Submit a mining job; returns the :class:`AnalysisJob`."""
         job_id = next(self._ids)
-        result = self.repeats_algorithm(tokens, min_length)
+        result = self._mine(tokens, min_length)
         latency = self.base_latency_ops + int(
             len(tokens) * self.per_token_latency_ops
         )

@@ -19,6 +19,7 @@ appendix (``-lg:auto_trace:*``).
 """
 
 from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Optional
 
 from repro.core.finder import TraceFinder
@@ -26,15 +27,24 @@ from repro.core.hashing import TaskHasher
 from repro.core.jobs import JobExecutor
 from repro.core.replayer import TraceReplayer
 from repro.core.repeats import find_repeats
+from repro.core.sa_backends import get_backend
 from repro.core.scoring import ScoringPolicy
 
 
-def _resolve_repeats_algorithm(name):
-    """Map an artifact-style algorithm name to a callable."""
+def _resolve_repeats_algorithm(name, sa_backend=None):
+    """Map an artifact-style algorithm name to a callable.
+
+    ``sa_backend`` binds Algorithm 2 to a suffix-array backend (resolved
+    once here, so the ``REPRO_SA_BACKEND`` environment variable is read at
+    processor construction, not per mining job). The baselines do not use
+    suffix arrays, so the knob is ignored for them.
+    """
     if callable(name):
         return name
     if name == "quick_matching_of_substrings":
-        return find_repeats
+        # Bind the resolved *callable*, not the name: binding a name would
+        # re-resolve (and re-read the environment) on every mining job.
+        return partial(find_repeats, backend=get_backend(sa_backend))
     if name == "lzw":
         from repro.analysis.lzw import find_repeats_lzw
 
@@ -73,6 +83,16 @@ class ApopheniaConfig:
     repeats_algorithm:
         ``"quick_matching_of_substrings"`` (Algorithm 2), or one of the
         baselines ``"lzw"``, ``"tandem"``, ``"quadratic"`` for ablations.
+    sa_backend:
+        Suffix-array construction backend for Algorithm 2: ``"sais"``
+        (linear-time induced sorting, the default), ``"radix"``
+        (counting-sort prefix doubling), or ``"doubling"`` (the reference
+        lambda-key prefix doubling). The ``REPRO_SA_BACKEND`` environment
+        variable overrides this knob. All backends produce identical
+        mining results; the choice only affects analysis cost.
+    mining_memo_capacity:
+        Recent identical-window mining results remembered by the
+        :class:`~repro.core.jobs.JobExecutor` (0 disables the memo).
     count_cap / decay_rate / replay_bonus:
         Scoring policy parameters (Section 4.3).
     job_base_latency_ops / job_per_token_latency_ops:
@@ -87,6 +107,8 @@ class ApopheniaConfig:
     multi_scale_factor: int = 250
     identifier_algorithm: str = "multi-scale"
     repeats_algorithm: object = "quick_matching_of_substrings"
+    sa_backend: Optional[str] = None
+    mining_memo_capacity: int = 8
     count_cap: int = 16
     decay_rate: float = 1e-4
     replay_bonus: float = 1.1
@@ -132,11 +154,12 @@ class ApopheniaProcessor:
         self.hasher = TaskHasher()
         self.executor = JobExecutor(
             repeats_algorithm=_resolve_repeats_algorithm(
-                self.config.repeats_algorithm
+                self.config.repeats_algorithm, self.config.sa_backend
             ),
             base_latency_ops=self.config.job_base_latency_ops,
             per_token_latency_ops=self.config.job_per_token_latency_ops,
             node_id=node_id,
+            memo_capacity=self.config.mining_memo_capacity,
         )
         self.finder = TraceFinder(
             self.executor,

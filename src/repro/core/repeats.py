@@ -31,7 +31,11 @@ sort adjacently and blocks sort lexicographically -- the order the paper's
 sort produces -- without copying.
 """
 
-from repro.core.suffix_array import lcp_array, rank_compress, suffix_array
+from repro.core.suffix_array import (
+    lcp_array_from_ranks,
+    rank_compress,
+    suffix_array_from_ranks,
+)
 
 
 class Repeat:
@@ -105,7 +109,7 @@ def _candidates(s, sa, lcp, min_length):
     return out
 
 
-def find_repeats(tokens, min_length=1, min_occurrences=2):
+def find_repeats(tokens, min_length=1, min_occurrences=2, backend=None):
     """Find non-overlapping repeated substrings with high coverage.
 
     Parameters
@@ -121,6 +125,11 @@ def find_repeats(tokens, min_length=1, min_occurrences=2):
         substring matched once in the window is useless as a trace. The
         paper's Figure 4 output (``{aa, bc}`` for ``aabcbcbaa``) reflects
         this filtering. Pass 1 to keep every selection.
+    backend:
+        Suffix-array backend (see :mod:`repro.core.sa_backends`): a name,
+        ``None`` for the environment override / default, or a callable.
+        Every backend yields identical output here -- the suffix array is
+        unique -- so the choice is purely a performance knob.
 
     Returns
     -------
@@ -133,19 +142,24 @@ def find_repeats(tokens, min_length=1, min_occurrences=2):
     n = len(tokens)
     if n < 2 or min_length > n:
         return []
+    # Compress once; the suffix array, LCP array, and candidate keys below
+    # all share this one dense array (the rank-compression contract).
     s = rank_compress(tokens)
-    sa = suffix_array(s)
-    lcp = lcp_array(s, sa)
+    sa = suffix_array_from_ranks(s, backend)
+    lcp = lcp_array_from_ranks(s, sa)
     cands = _candidates(s, sa, lcp, max(1, min_length))
     if not cands:
         return []
 
     # Order: decreasing length; within a length, by suffix rank so equal
     # substrings are adjacent and groups are lexicographic; then by start.
+    # Sorting pre-built key tuples runs entirely in C; a per-element
+    # lambda key would dominate this function's runtime.
     rank = [0] * n
     for idx, start in enumerate(sa):
         rank[start] = idx
-    cands.sort(key=lambda c: (-c[0], rank[c[1]], c[1]))
+    cands = [(-length, rank[start], start) for length, start in cands]
+    cands.sort()
 
     # Greedy selection with an O(1) overlap test: because candidates are
     # visited in decreasing length order, a previously selected interval
@@ -154,8 +168,8 @@ def find_repeats(tokens, min_length=1, min_occurrences=2):
     # is sufficient.
     covered = bytearray(n)
     selected = {}
-    for length, start in cands:
-        end = start + length
+    for neg_length, _, start in cands:
+        end = start - neg_length
         if covered[start] or covered[end - 1]:
             continue
         key = tuple(s[start:end])
@@ -163,8 +177,7 @@ def find_repeats(tokens, min_length=1, min_occurrences=2):
         if positions is None:
             selected[key] = positions = []
         positions.append(start)
-        for i in range(start, end):
-            covered[i] = 1
+        covered[start:end] = b"\x01" * (end - start)
 
     repeats = []
     for key, positions in selected.items():

@@ -1,0 +1,93 @@
+"""Pluggable suffix-array construction backends.
+
+Every backend is a callable ``build(ranks) -> list[int]`` taking a
+*rank-compressed* token array (dense non-negative ints, as produced by
+:func:`repro.core.suffix_array.rank_compress`) and returning its suffix
+array. Because the suffix array of a string over a totally ordered
+alphabet is unique, all backends produce byte-identical output; the
+Section 5.1 distributed-agreement protocol depends on this, and the
+property tests in ``tests/test_sa_backends.py`` enforce it.
+
+Backends
+--------
+``doubling``
+    The seed's prefix-doubling construction with per-element lambda sort
+    keys, O(n log^2 n) comparisons. Kept as the reference implementation
+    and the baseline the perf suite measures speedups against.
+``radix``
+    Prefix doubling driven by counting sorts on integer rank pairs --
+    O(n log n) with no lambda keys and no tuple allocation.
+``sais``
+    Pure-Python SA-IS (suffix array by induced sorting), O(n). The
+    default.
+
+Selection
+---------
+:func:`resolve_backend_name` picks the backend: the ``REPRO_SA_BACKEND``
+environment variable overrides everything (so a deployment can switch
+backends without code changes), then an explicit name (for example from
+``ApopheniaConfig.sa_backend``), then :data:`DEFAULT_BACKEND`.
+"""
+
+import os
+
+from repro.core.sa_backends.doubling import suffix_array_doubling
+from repro.core.sa_backends.radix import suffix_array_radix
+from repro.core.sa_backends.sais import suffix_array_sais
+
+#: Environment variable overriding the configured backend.
+ENV_VAR = "REPRO_SA_BACKEND"
+
+#: Backend used when neither the environment nor the caller chooses.
+DEFAULT_BACKEND = "sais"
+
+BACKENDS = {
+    "doubling": suffix_array_doubling,
+    "radix": suffix_array_radix,
+    "sais": suffix_array_sais,
+}
+
+
+def available_backends():
+    """Sorted names of every registered backend."""
+    return sorted(BACKENDS)
+
+
+def resolve_backend_name(name=None):
+    """Resolve a backend name: env override, then ``name``, then default."""
+    env = os.environ.get(ENV_VAR)
+    if env:
+        name = env
+    elif name is None:
+        name = DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown suffix-array backend {name!r}; "
+            f"known: {available_backends()}"
+        )
+    return name
+
+
+def get_backend(name=None):
+    """Return the ``build(ranks) -> suffix array`` callable for ``name``.
+
+    ``name`` may be a backend name, ``None`` (resolve via the environment
+    and the default), or an already-resolved callable (passed through, so
+    call sites can accept either form).
+    """
+    if callable(name):
+        return name
+    return BACKENDS[resolve_backend_name(name)]
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "resolve_backend_name",
+    "suffix_array_doubling",
+    "suffix_array_radix",
+    "suffix_array_sais",
+]

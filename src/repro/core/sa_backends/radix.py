@@ -1,0 +1,80 @@
+"""Prefix doubling driven by counting sorts on integer rank pairs.
+
+Same O(n log n) doubling structure as the reference backend, but each
+round orders suffixes with a two-pass LSD radix sort over their
+``(rank[i], rank[i+k])`` pairs instead of ``list.sort`` with a lambda
+key. No closures, no tuple allocation: the second-key pass is derived
+directly from the previous round's order (a suffix ``j`` in rank order
+contributes ``j - k`` to the second-key order), and the first-key pass is
+a stable counting sort on the current ranks.
+"""
+
+
+def suffix_array_radix(s):
+    """Suffix array of a rank-compressed token array, by radix doubling."""
+    n = len(s)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+
+    # Initial order: counting sort on the (dense) token ranks.
+    alpha = max(s) + 1
+    count = [0] * (alpha + 1)
+    for c in s:
+        count[c + 1] += 1
+    for c in range(alpha):
+        count[c + 1] += count[c]
+    order = [0] * n
+    slots = count[:alpha]
+    for i in range(n):
+        c = s[i]
+        order[slots[c]] = i
+        slots[c] += 1
+
+    rank = [0] * n
+    r = 0
+    rank[order[0]] = 0
+    prev = order[0]
+    for idx in range(1, n):
+        cur = order[idx]
+        if s[cur] != s[prev]:
+            r += 1
+        rank[cur] = r
+        prev = cur
+
+    k = 1
+    while r < n - 1 and k < n:
+        # Order by second key (rank[i + k], with -1 past the end): the
+        # suffixes whose second key is the sentinel come first, in any
+        # stable order; the rest follow the previous round's rank order.
+        second = list(range(n - k, n))
+        second += [j - k for j in order if j >= k]
+
+        # Stable counting sort by first key to finish the pair sort.
+        count = [0] * (r + 2)
+        for c in rank:
+            count[c + 1] += 1
+        for c in range(r + 1):
+            count[c + 1] += count[c]
+        slots = count[: r + 1]
+        for i in second:
+            c = rank[i]
+            order[slots[c]] = i
+            slots[c] += 1
+
+        new_rank = [0] * n
+        r = 0
+        prev = order[0]
+        prev_second = rank[prev + k] if prev + k < n else -1
+        new_rank[prev] = 0
+        for idx in range(1, n):
+            cur = order[idx]
+            cur_second = rank[cur + k] if cur + k < n else -1
+            if rank[cur] != rank[prev] or cur_second != prev_second:
+                r += 1
+            new_rank[cur] = r
+            prev, prev_second = cur, cur_second
+        rank = new_rank
+        k <<= 1
+    return order

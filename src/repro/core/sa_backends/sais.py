@@ -1,0 +1,141 @@
+"""SA-IS: linear-time suffix-array construction by induced sorting.
+
+Nong, Zhang & Chan's algorithm (DCC 2009). Suffixes are classified as
+S-type or L-type; the LMS (leftmost-S) suffixes are sorted -- recursively
+if their substring names collide -- and the full order is *induced* from
+them in two linear bucket scans. Total work is O(n) regardless of the
+input's repetition structure, which is exactly what the mining hot path
+needs: the task-history windows Apophenia analyzes are highly periodic,
+the worst case for comparison-based prefix doubling (ranks separate one
+doubling round at a time) and a non-event for induced sorting.
+
+The implementation works on a rank-compressed integer array and appends
+a unique smallest sentinel internally, so callers never see it.
+"""
+
+
+def suffix_array_sais(s):
+    """Suffix array of a rank-compressed token array, by SA-IS."""
+    n = len(s)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+    # Shift the alphabet up by one and append a unique smallest sentinel;
+    # every suffix of the sentinel-terminated string is distinct, which is
+    # the invariant the induced sort relies on. The sentinel suffix sorts
+    # first and is dropped from the result.
+    shifted = [c + 1 for c in s]
+    shifted.append(0)
+    return _sais(shifted, max(shifted) + 1)[1:]
+
+
+def _sais(s, alpha):
+    """SA-IS core: ``s`` ends with a unique smallest sentinel."""
+    n = len(s)
+    if n == 1:
+        return [0]
+    if n == 2:
+        return [1, 0]  # sentinel suffix first
+
+    # Classify suffixes: t[i] == 1 iff suffix i is S-type.
+    t = bytearray(n)
+    t[n - 1] = 1
+    for i in range(n - 2, -1, -1):
+        si, si1 = s[i], s[i + 1]
+        if si < si1 or (si == si1 and t[i + 1]):
+            t[i] = 1
+
+    # LMS positions (S-type with an L-type left neighbour), left to right.
+    lms = [i for i in range(1, n) if t[i] and not t[i - 1]]
+
+    bucket = [0] * alpha
+    for c in s:
+        bucket[c] += 1
+
+    def induce(lms_order):
+        """Induce the full suffix order from an ordering of the LMS set."""
+        sa = [-1] * n
+        # Place LMS suffixes at the ends of their buckets.
+        tail = [0] * alpha
+        total = 0
+        for c in range(alpha):
+            total += bucket[c]
+            tail[c] = total
+        for i in reversed(lms_order):
+            c = s[i]
+            tail[c] -= 1
+            sa[tail[c]] = i
+        # Left-to-right scan induces L-type suffixes at bucket heads.
+        head = [0] * alpha
+        total = 0
+        for c in range(alpha):
+            head[c] = total
+            total += bucket[c]
+        for j in range(n):
+            i = sa[j]
+            if i > 0 and not t[i - 1]:
+                c = s[i - 1]
+                sa[head[c]] = i - 1
+                head[c] += 1
+        # Right-to-left scan induces S-type suffixes at bucket tails.
+        total = 0
+        for c in range(alpha):
+            total += bucket[c]
+            tail[c] = total
+        for j in range(n - 1, -1, -1):
+            i = sa[j]
+            if i > 0 and t[i - 1]:
+                c = s[i - 1]
+                tail[c] -= 1
+                sa[tail[c]] = i - 1
+        return sa
+
+    # First pass: induce from LMS positions in text order, which sorts the
+    # LMS *substrings* (not yet the LMS suffixes).
+    sa = induce(lms)
+    lms_sorted = [i for i in sa if i > 0 and t[i] and not t[i - 1]]
+
+    # Name LMS substrings in sorted order; equal substrings share a name.
+    name = [0] * n
+    current = 0
+    prev = lms_sorted[0]
+    name[prev] = 0
+    for i in lms_sorted[1:]:
+        if not _lms_substrings_equal(s, t, prev, i):
+            current += 1
+        name[i] = current
+        prev = i
+
+    if current + 1 < len(lms):
+        # Names collide: recursively sort the string of LMS names. The
+        # sentinel's LMS substring is unique and smallest, so the reduced
+        # string again ends with a unique smallest sentinel.
+        reduced = [name[i] for i in lms]
+        reduced_sa = _sais(reduced, current + 1)
+        lms_order = [lms[j] for j in reduced_sa]
+    else:
+        lms_order = lms_sorted
+
+    return induce(lms_order)
+
+
+def _lms_substrings_equal(s, t, a, b):
+    """Whether the LMS substrings starting at ``a`` and ``b`` are equal.
+
+    An LMS substring runs from one LMS position through the next one
+    (inclusive). The scan cannot run off the end: the sentinel is unique,
+    so substrings not containing it differ from it before overrunning.
+    """
+    if s[a] != s[b]:
+        return False
+    i = 1
+    while True:
+        ai, bi = a + i, b + i
+        a_lms = t[ai] and not t[ai - 1]
+        b_lms = t[bi] and not t[bi - 1]
+        if a_lms and b_lms:
+            return True
+        if a_lms != b_lms or s[ai] != s[bi]:
+            return False
+        i += 1

@@ -1,15 +1,22 @@
 """Suffix array and LCP array construction.
 
 Algorithm 2 of the paper is built on a suffix array and the Kasai et al.
-longest-common-prefix array. We implement the classic prefix-doubling
-construction, which runs in O(n log n) with Python's built-in sort used as
-the comparator at each doubling step, and Kasai's linear-time LCP
-construction [23].
+longest-common-prefix array [23]. Construction is delegated to one of the
+pluggable backends in :mod:`repro.core.sa_backends` (``sais`` by default,
+selectable per call, via ``ApopheniaConfig.sa_backend``, or the
+``REPRO_SA_BACKEND`` environment variable).
 
 The input is any sequence of hashable tokens (ints, strings, or task
 hashes); tokens are rank-compressed first so the construction only ever
-sorts small integers.
+works on dense small integers. The rank-compression contract: compress
+*once* per mining job and pass the compressed array through the
+``*_from_ranks`` entry points -- :func:`rank_compress` is idempotent, but
+each redundant pass is a full O(n) dict walk on the hot path. The public
+:func:`suffix_array`/:func:`lcp_array` wrappers compress internally for
+callers that hold raw tokens.
 """
+
+from repro.core.sa_backends import get_backend
 
 
 def rank_compress(tokens):
@@ -17,7 +24,8 @@ def rank_compress(tokens):
 
     Returns a list of ints preserving the relative order of first
     appearance (ordering between distinct tokens is arbitrary but fixed,
-    which is all the suffix array needs).
+    which is all the suffix array needs). Idempotent: compressing an
+    already-compressed array returns an equal array.
     """
     mapping = {}
     out = []
@@ -30,7 +38,16 @@ def rank_compress(tokens):
     return out
 
 
-def suffix_array(tokens):
+def suffix_array_from_ranks(ranks, backend=None):
+    """Suffix array of an already rank-compressed token array.
+
+    ``backend`` is a backend name, ``None`` (environment override, then
+    the default), or a ``build(ranks)`` callable.
+    """
+    return get_backend(backend)(ranks)
+
+
+def suffix_array(tokens, backend=None):
     """Return the suffix array of ``tokens`` as a list of start indices.
 
     The suffix array lists the starting positions of all suffixes of the
@@ -39,50 +56,13 @@ def suffix_array(tokens):
     appearance), which preserves all equal/unequal relations and therefore
     all repeated-substring structure.
     """
-    s = rank_compress(tokens)
+    return suffix_array_from_ranks(rank_compress(tokens), backend)
+
+
+def lcp_array_from_ranks(ranks, sa):
+    """Kasai's algorithm over an already rank-compressed token array."""
+    s = ranks
     n = len(s)
-    if n == 0:
-        return []
-    if n == 1:
-        return [0]
-    order = sorted(range(n), key=lambda i: s[i])
-    ranks = [0] * n
-    ranks[order[0]] = 0
-    for i in range(1, n):
-        ranks[order[i]] = ranks[order[i - 1]] + (
-            1 if s[order[i]] != s[order[i - 1]] else 0
-        )
-    k = 1
-    tmp = [0] * n
-    while k < n:
-        def key(i):
-            second = ranks[i + k] if i + k < n else -1
-            return (ranks[i], second)
-
-        order.sort(key=key)
-        tmp[order[0]] = 0
-        for i in range(1, n):
-            tmp[order[i]] = tmp[order[i - 1]] + (
-                1 if key(order[i]) != key(order[i - 1]) else 0
-            )
-        ranks = tmp[:]
-        if ranks[order[-1]] == n - 1:
-            break
-        k <<= 1
-    return order
-
-
-def lcp_array(tokens, sa=None):
-    """Kasai's algorithm: LCP of adjacent suffix-array entries.
-
-    ``lcp[i]`` is the length of the longest common prefix of the suffixes
-    starting at ``sa[i]`` and ``sa[i+1]``. The returned list has length
-    ``len(tokens) - 1`` (empty input yields an empty list).
-    """
-    s = rank_compress(tokens)
-    n = len(s)
-    if sa is None:
-        sa = suffix_array(tokens)
     if n <= 1:
         return []
     rank = [0] * n
@@ -101,3 +81,16 @@ def lcp_array(tokens, sa=None):
         else:
             h = 0
     return lcp
+
+
+def lcp_array(tokens, sa=None, backend=None):
+    """Kasai's algorithm: LCP of adjacent suffix-array entries.
+
+    ``lcp[i]`` is the length of the longest common prefix of the suffixes
+    starting at ``sa[i]`` and ``sa[i+1]``. The returned list has length
+    ``len(tokens) - 1`` (empty input yields an empty list).
+    """
+    ranks = rank_compress(tokens)
+    if sa is None:
+        sa = suffix_array_from_ranks(ranks, backend)
+    return lcp_array_from_ranks(ranks, sa)

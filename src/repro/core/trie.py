@@ -153,16 +153,40 @@ class CandidateTrie:
         return candidate
 
     def remove(self, candidate):
-        """Remove a candidate's terminal mark (its nodes may be shared)."""
+        """Remove a candidate's terminal mark (its nodes may be shared).
+
+        ``max_below``/``deep`` are recomputed bottom-up along the removed
+        candidate's path: a node whose deepest candidate was the removed
+        one must fall back to the next-deepest survivor, or the replayer
+        would keep deferring matches waiting for an extension that can no
+        longer complete. Branches left with no candidate at or below them
+        are pruned so dead tokens stop spawning active pointers.
+        """
+        if self._by_tokens.get(candidate.tokens) is not candidate:
+            return  # stale reference: these tokens are not (or no longer) its
         node = self.root
+        path = [node]
         for token in candidate.tokens:
             node = node.children.get(token)
             if node is None:
                 return
+            path.append(node)
         if node.candidate is candidate:
             node.candidate = None
         self.candidates.pop(candidate.trace_id, None)
-        self._by_tokens.pop(candidate.tokens, None)
+        del self._by_tokens[candidate.tokens]
+        for i in range(len(path) - 1, -1, -1):
+            node = path[i]
+            deepest = node.candidate
+            for child in node.children.values():
+                if child.deep is not None and (
+                    deepest is None or child.deep.length > deepest.length
+                ):
+                    deepest = child.deep
+            node.deep = deepest
+            node.max_below = deepest.length if deepest is not None else node.depth
+            if i > 0 and not node.children and deepest is None:
+                del path[i - 1].children[candidate.tokens[i - 1]]
 
     # ------------------------------------------------------------------
     # Stream matching (AdvanceActiveCandidates / Filter* of Algorithm 1)

@@ -111,9 +111,16 @@ class TestComparison:
         import time
 
         def timed(finder, stream):
-            t0 = time.perf_counter()
-            finder(stream, 5)
-            return time.perf_counter() - t0
+            # Best of three: the small-window timings are sub-millisecond,
+            # where a single cold or descheduled run can swamp the ratio.
+            best = None
+            for _ in range(3):
+                t0 = time.perf_counter()
+                finder(stream, 5)
+                elapsed = time.perf_counter() - t0
+                if best is None or elapsed < best:
+                    best = elapsed
+            return best
 
         small = list(range(40)) * 5
         large = list(range(40)) * 40

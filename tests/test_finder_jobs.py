@@ -42,6 +42,59 @@ class TestJobExecutor:
         ex.submit(list("abc"), 1, now_op=0)
         assert calls == [3]
 
+    def test_identical_window_memoized(self):
+        calls = []
+
+        def counting(tokens, min_length):
+            calls.append(tuple(tokens))
+            return []
+
+        ex = JobExecutor(repeats_algorithm=counting)
+        window = list("ababab")
+        first = ex.submit(window, 2, now_op=0)
+        second = ex.submit(list(window), 2, now_op=100)
+        assert len(calls) == 1
+        assert ex.memo_hits == 1
+        assert second.result == first.result
+        # Completion-time modelling is still per-job.
+        assert second.submitted_at_op == 100
+        assert ex.jobs_submitted == 2
+
+    def test_memo_distinguishes_min_length(self):
+        ex = JobExecutor()
+        a = ex.submit(list("ababab"), 2, now_op=0)
+        b = ex.submit(list("ababab"), 3, now_op=0)
+        assert ex.memo_hits == 0
+        assert a.result != b.result
+
+    def test_memo_evicts_least_recent(self):
+        calls = []
+
+        def counting(tokens, min_length):
+            calls.append(tuple(tokens))
+            return []
+
+        ex = JobExecutor(repeats_algorithm=counting, memo_capacity=2)
+        ex.submit(list("aa"), 1, now_op=0)
+        ex.submit(list("bb"), 1, now_op=0)
+        ex.submit(list("cc"), 1, now_op=0)  # evicts "aa"
+        ex.submit(list("aa"), 1, now_op=0)  # re-mined
+        assert len(calls) == 4
+        assert ex.memo_hits == 0
+
+    def test_memo_disabled(self):
+        calls = []
+
+        def counting(tokens, min_length):
+            calls.append(tuple(tokens))
+            return []
+
+        ex = JobExecutor(repeats_algorithm=counting, memo_capacity=0)
+        ex.submit(list("aa"), 1, now_op=0)
+        ex.submit(list("aa"), 1, now_op=0)
+        assert len(calls) == 2
+        assert ex.memo_hits == 0
+
 
 class TestTraceFinder:
     def test_multi_scale_triggers(self):

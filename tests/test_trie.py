@@ -48,6 +48,71 @@ class TestInsert:
         assert len(trie) == 0
         assert advance_all(trie, "abab") == []
 
+    def test_remove_clears_stale_deep_references(self):
+        # Removing the deepest candidate must demote max_below/deep on its
+        # path, or the replayer would defer forever for an extension that
+        # can no longer complete.
+        trie = CandidateTrie()
+        short = trie.insert("ab")
+        long = trie.insert("abcd")
+        trie.remove(long)
+        node = trie.root.children["a"]
+        assert node.max_below == 2
+        assert node.deep is short
+        terminal = node.children["b"]
+        assert terminal.max_below == 2
+        assert terminal.deep is short
+
+    def test_remove_prunes_dead_branches(self):
+        trie = CandidateTrie()
+        short = trie.insert("ab")
+        long = trie.insert("abcd")
+        trie.remove(long)
+        # The c/d tail held no other candidate; it must not spawn pointers.
+        assert "c" not in trie.root.children["a"].children["b"].children
+        (m,) = advance_all(trie, "ab")
+        assert m.candidate is short
+
+    def test_remove_middle_candidate_keeps_descendants(self):
+        trie = CandidateTrie()
+        long = trie.insert("abcd")
+        short = trie.insert("ab")
+        trie.remove(short)
+        node = trie.root.children["a"].children["b"]
+        assert node.candidate is None
+        assert node.max_below == 4 and node.deep is long
+        (m,) = advance_all(trie, "abcd")
+        assert m.candidate is long
+
+    def test_remove_then_reinsert(self):
+        trie = CandidateTrie()
+        long = trie.insert("abcd")
+        trie.remove(long)
+        again = trie.insert("abcd")
+        assert again is not long
+        node = trie.root.children["a"]
+        assert node.max_below == 4 and node.deep is again
+
+    def test_remove_stale_reference_is_noop(self):
+        # Removing an already-removed candidate after its tokens were
+        # re-inserted must not evict the live candidate's dedup entry.
+        trie = CandidateTrie()
+        c1 = trie.insert("ab")
+        trie.remove(c1)
+        c2 = trie.insert("ab")
+        trie.remove(c1)  # stale reference
+        assert len(trie) == 1
+        assert trie.insert("ab") is c2
+
+    def test_remove_sibling_deep_survives(self):
+        trie = CandidateTrie()
+        left = trie.insert("abx")
+        right = trie.insert("abyzw")
+        trie.remove(right)
+        node = trie.root.children["a"].children["b"]
+        assert node.max_below == 3
+        assert node.deep is left
+
 
 class TestMatching:
     def test_simple_match(self):
