@@ -1,0 +1,21 @@
+# Convenience targets; see ROADMAP.md for the canonical commands.
+
+.PHONY: verify verify-full test bench service-bench
+
+## Tier-1 tests plus the perf_smoke guards (the pre-commit check).
+verify:
+	bash scripts/verify.sh
+
+## Everything, benchmarks included.
+verify-full:
+	VERIFY_FULL=1 bash scripts/verify.sh
+
+test:
+	PYTHONPATH=src python -m pytest -x -q tests
+
+bench:
+	PYTHONPATH=src python -m pytest -q benchmarks
+
+## The multi-tenant service benchmark on its own.
+service-bench:
+	PYTHONPATH=src python -m pytest -q benchmarks/test_perf_service.py -m service

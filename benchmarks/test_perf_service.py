@@ -1,0 +1,85 @@
+"""Multi-tenant service throughput (perf trajectory anchor).
+
+Not a paper figure: this suite tracks the service layer added after the
+PR 1 mining optimizations. Eight application sessions (two tenants each
+of s3d, stencil, jacobi, cfd) are served from identical task streams by
+one :class:`~repro.service.ApopheniaService` and by eight isolated
+processors, interleaved task by task either way. The service must reach
+at least 1.2x the isolated deployment's aggregate tokens/sec -- the win
+comes from the shared mining executor's cross-session memo -- while
+every session's decisions stay byte-identical to its isolated run.
+
+Results land in ``benchmarks/results/perf_service.txt``.
+"""
+
+import pytest
+
+from repro.experiments.multi_tenant import compare_multi_tenant
+from repro.experiments.report import format_table
+
+SPEEDUP_FLOOR = 1.2
+
+
+@pytest.mark.service
+@pytest.mark.benchmark(group="perf_service", min_rounds=1, max_time=5)
+def test_perf_service_multi_tenant(benchmark, save):
+    comparison = benchmark.pedantic(
+        compare_multi_tenant,
+        kwargs=dict(
+            num_tenants=8,
+            tasks_per_tenant=8000,
+            rounds=3,
+            target_speedup=SPEEDUP_FLOOR,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            "isolated x8",
+            f"{comparison.isolated_seconds * 1e3:.1f} ms",
+            f"{comparison.isolated_tokens_per_sec:,.0f}",
+            "1.00x",
+        ],
+        [
+            "isolated x8, equal-capacity memos",
+            f"{comparison.control_seconds * 1e3:.1f} ms",
+            f"{comparison.tasks_total / comparison.control_seconds:,.0f}",
+            f"{comparison.isolated_seconds / comparison.control_seconds:.2f}x",
+        ],
+        [
+            "service",
+            f"{comparison.service_seconds * 1e3:.1f} ms",
+            f"{comparison.service_tokens_per_sec:,.0f}",
+            f"{comparison.speedup:.2f}x",
+        ],
+    ]
+    save(
+        "perf_service",
+        format_table(
+            ["deployment", "cpu time", "tokens/sec", "speedup"],
+            rows,
+            title=(
+                "perf_service: 8 interleaved tenants "
+                f"({comparison.tasks_total} tasks), shared-memo hit rate "
+                f"{comparison.memo_hit_rate:.1%}, paired rounds: "
+                + ", ".join(f"{r:.2f}x" for r in comparison.round_speedups)
+            ),
+        ),
+    )
+    benchmark.extra_info["speedup"] = round(comparison.speedup, 3)
+    benchmark.extra_info["memo_hit_rate"] = round(comparison.memo_hit_rate, 3)
+
+    # The load-bearing invariant before any throughput claim: the service
+    # never changes a session's decisions.
+    assert comparison.divergent_tenants() == []
+
+    # Cross-session sharing must actually engage on this workload.
+    assert comparison.memo_hit_rate > 0.5
+
+    # The acceptance floor: one service beats eight isolated processors.
+    assert comparison.speedup >= SPEEDUP_FLOOR, (
+        f"service speedup {comparison.speedup:.2f}x < {SPEEDUP_FLOOR}x "
+        f"(rounds: {comparison.round_speedups})"
+    )

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 tests plus the fast perf guards.
+#
+#   scripts/verify.sh            # unit suite + perf_smoke subset
+#   VERIFY_FULL=1 scripts/verify.sh   # additionally the full benchmark suite
+#
+# Used by `make verify`; keep it in sync with the tier-1 command recorded
+# in ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 unit suite"
+python -m pytest -x -q tests
+
+echo "== perf_smoke guards"
+python -m pytest -x -q -m perf_smoke
+
+if [ "${VERIFY_FULL:-0}" = "1" ]; then
+    echo "== full suite (benchmarks included)"
+    python -m pytest -x -q
+fi

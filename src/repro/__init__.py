@@ -19,18 +19,23 @@ system (ASPLOS 2025) together with every substrate it depends on:
   tandem repeats, quadratic suffix matching) used for ablation studies.
 * :mod:`repro.experiments` -- the harness that regenerates every figure and
   table in the paper's evaluation section.
+* :mod:`repro.service` -- the multi-tenant service layer: many concurrent
+  application sessions multiplexed over one shared mining executor with a
+  cross-session window memo, fair scheduling, and LRU session eviction.
 """
 
 from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
 from repro.core.repeats import find_repeats
 from repro.runtime.runtime import Runtime
 from repro.runtime.machine import EOS, PERLMUTTER, MachineConfig
+from repro.service import ApopheniaService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ApopheniaConfig",
     "ApopheniaProcessor",
+    "ApopheniaService",
     "Runtime",
     "MachineConfig",
     "PERLMUTTER",

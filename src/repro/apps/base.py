@@ -49,12 +49,23 @@ class AppConfig:
             if task_scale != 1.0:
                 # The history buffer and sampling granularity are sized in
                 # tasks; scale them with the stream so trace discovery
-                # behaves identically at reduced task counts.
+                # behaves identically at reduced task counts. The buffer
+                # is pinned to the largest power-of-two multiple of the
+                # scaled factor: the ruler schedule then has exactly the
+                # slice sizes the experiment calibrations assume, and the
+                # full buffer is reached every period. (Non-power-of-two
+                # ratios extend the period to reach the full buffer --
+                # see MultiScaleSampler -- which on these reduced streams
+                # surfaces very long candidates whose scoring churn is an
+                # open item; see ROADMAP.)
+                factor = max(
+                    10, int(apophenia.multi_scale_factor * task_scale)
+                )
+                batch = max(50, int(apophenia.batchsize * task_scale))
+                ratio = max(1, batch // factor)
                 apophenia = apophenia.with_overrides(
-                    batchsize=max(50, int(apophenia.batchsize * task_scale)),
-                    multi_scale_factor=max(
-                        10, int(apophenia.multi_scale_factor * task_scale)
-                    ),
+                    batchsize=factor * (1 << (ratio.bit_length() - 1)),
+                    multi_scale_factor=factor,
                     job_base_latency_ops=max(
                         5, int(apophenia.job_base_latency_ops * task_scale)
                     ),

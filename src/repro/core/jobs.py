@@ -9,12 +9,44 @@ the job's input tokens, so they are deterministic across nodes) while job
 submitted at operation ``t`` over ``n`` tokens completes at operation
 ``t + base + ceil(n * per_token)``, with deterministic per-node jitter so
 the distributed agreement protocol (Section 5.1) has real skew to resolve.
+
+The multi-tenant service layer (:mod:`repro.service`) shares one mining
+backend across many sessions. The pieces it reuses live here so a session
+lane stays byte-identical to a standalone executor:
+
+* :func:`completion_op` -- the completion-time model, as a pure function;
+* :class:`MiningMemo` -- the identical-window result cache, shareable
+  because its key excludes node and session identity;
+* :class:`AnalysisJob` -- supports deferred results so a shared executor
+  can queue the actual mining work behind a fair scheduler.
 """
 
 import itertools
 from collections import OrderedDict
 
 from repro.core.repeats import find_repeats
+
+#: Sentinel for a job whose mining work has not run yet.
+_UNMINED = object()
+
+
+def completion_op(now_op, num_tokens, base_latency_ops, per_token_latency_ops,
+                  node_id, job_id):
+    """Operation count at which a mining job completes.
+
+    A module-level pure function (rather than a method) so the service
+    layer's per-session lanes compute completion times byte-identical to a
+    standalone :class:`JobExecutor`: the service must change throughput,
+    never decisions. The jitter is deterministic per ``(node_id, job_id)``,
+    modeling scheduling noise of background worker threads on each node;
+    Python hashes integers to themselves, so ``hash`` here is stable
+    across processes.
+    """
+    latency = base_latency_ops + int(num_tokens * per_token_latency_ops)
+    jitter = (hash((node_id * 2654435761) ^ job_id) & 0xFFFF) % max(
+        1, base_latency_ops // 2
+    )
+    return now_op + latency + jitter
 
 
 class AnalysisJob:
@@ -25,15 +57,34 @@ class AnalysisJob:
         "submitted_at_op",
         "completes_at_op",
         "num_tokens",
-        "result",
+        "_result",
+        "_materialize",
     )
 
-    def __init__(self, job_id, submitted_at_op, completes_at_op, num_tokens, result):
+    def __init__(self, job_id, submitted_at_op, completes_at_op, num_tokens,
+                 result=_UNMINED, materialize=None):
         self.job_id = job_id
         self.submitted_at_op = submitted_at_op
         self.completes_at_op = completes_at_op
         self.num_tokens = num_tokens
-        self.result = result
+        self._result = result
+        self._materialize = materialize
+
+    @property
+    def result(self):
+        """The mined repeats; forces deferred mining work if still queued."""
+        if self._result is _UNMINED:
+            self._materialize(self)
+        return self._result
+
+    @property
+    def materialized(self):
+        """True once the mining work for this job has actually run."""
+        return self._result is not _UNMINED
+
+    def _fulfill(self, result):
+        self._result = result
+        self._materialize = None
 
     def complete_by(self, op_count):
         return op_count >= self.completes_at_op
@@ -43,6 +94,76 @@ class AnalysisJob:
             f"AnalysisJob(id={self.job_id}, n={self.num_tokens}, "
             f"submitted={self.submitted_at_op}, completes={self.completes_at_op})"
         )
+
+
+class MiningMemo:
+    """LRU cache of ``(window, min_length) -> [Repeat, ...]`` results.
+
+    Steady-state iterative applications keep re-mining identical buffer
+    slices (the multi-scale schedule revisits the same sizes and a
+    converged stream repeats exactly); the memo answers those jobs without
+    re-running the analysis. Results are pure functions of the key, and the
+    key deliberately excludes node and session identity, so one memo may be
+    shared across replicated nodes and across the tenants of an
+    :class:`~repro.service.ApopheniaService` without changing any decision.
+
+    The memo is defensive about aliasing: it stores a private shallow copy
+    on insert and hands out a fresh shallow copy on every hit, so a caller
+    mutating a returned result list can never corrupt what later hits (or
+    other tenants) observe.
+    """
+
+    def __init__(self, capacity=8):
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @staticmethod
+    def key(tokens, min_length):
+        return (tuple(tokens), min_length)
+
+    def lookup(self, key):
+        """Return a copy of the cached result for ``key``, or ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return list(entry)
+
+    def insert(self, key, result):
+        if not self.capacity:
+            return
+        self._entries[key] = list(result)
+        self.insertions += 1
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def mine(self, tokens, min_length, algorithm):
+        """Look up ``(tokens, min_length)`` or compute it via ``algorithm``.
+
+        Returns ``(result, hit)``.
+        """
+        key = self.key(tokens, min_length)
+        cached = self.lookup(key)
+        if cached is not None:
+            return cached, True
+        result = algorithm(tokens, min_length)
+        self.insert(key, result)
+        return result, False
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class JobExecutor:
@@ -58,13 +179,12 @@ class JobExecutor:
     node_id:
         Used to derive deterministic per-node jitter.
     memo_capacity:
-        Number of recent ``(window, min_length) -> result`` entries kept.
-        Steady-state iterative applications keep re-mining identical
-        buffer slices (the multi-scale schedule revisits the same sizes
-        and a converged stream repeats exactly); the memo answers those
-        jobs without re-running the analysis. Results are deterministic
-        functions of the window, so reuse cannot change any decision.
-        Set to 0 to disable.
+        Number of recent ``(window, min_length) -> result`` entries kept in
+        a private :class:`MiningMemo`. Set to 0 to disable.
+    memo:
+        An externally owned :class:`MiningMemo` to use instead of a private
+        one -- this is how replicated nodes or service tenants share one
+        cache. When given, ``memo_capacity`` is ignored.
     """
 
     def __init__(
@@ -74,13 +194,19 @@ class JobExecutor:
         per_token_latency_ops=0.05,
         node_id=0,
         memo_capacity=8,
+        memo=None,
     ):
         self.repeats_algorithm = repeats_algorithm
         self.base_latency_ops = base_latency_ops
         self.per_token_latency_ops = per_token_latency_ops
         self.node_id = node_id
         self.memo_capacity = memo_capacity
-        self._memo = OrderedDict()
+        if memo is not None:
+            self.memo = memo
+        elif memo_capacity:
+            self.memo = MiningMemo(memo_capacity)
+        else:
+            self.memo = None
         self._ids = itertools.count()
         self.jobs_submitted = 0
         self.tokens_analyzed = 0
@@ -88,36 +214,28 @@ class JobExecutor:
 
     def _mine(self, tokens, min_length):
         """Run the repeat finder, reusing a memoized identical window."""
-        if not self.memo_capacity:
+        if self.memo is None:
             return self.repeats_algorithm(tokens, min_length)
-        key = (tuple(tokens), min_length)
-        result = self._memo.get(key)
-        if result is not None:
-            self._memo.move_to_end(key)
+        result, hit = self.memo.mine(tokens, min_length, self.repeats_algorithm)
+        if hit:
             self.memo_hits += 1
-            return result
-        result = self.repeats_algorithm(tokens, min_length)
-        self._memo[key] = result
-        if len(self._memo) > self.memo_capacity:
-            self._memo.popitem(last=False)
         return result
 
     def submit(self, tokens, min_length, now_op):
         """Submit a mining job; returns the :class:`AnalysisJob`."""
         job_id = next(self._ids)
         result = self._mine(tokens, min_length)
-        latency = self.base_latency_ops + int(
-            len(tokens) * self.per_token_latency_ops
-        )
-        # Deterministic per-node jitter in [0, base/2): models scheduling
-        # noise of background worker threads on each node.
-        jitter = (hash((self.node_id * 2654435761) ^ job_id) & 0xFFFF) % max(
-            1, self.base_latency_ops // 2
-        )
         job = AnalysisJob(
             job_id,
             now_op,
-            now_op + latency + jitter,
+            completion_op(
+                now_op,
+                len(tokens),
+                self.base_latency_ops,
+                self.per_token_latency_ops,
+                self.node_id,
+                job_id,
+            ),
             len(tokens),
             result,
         )

@@ -99,6 +99,12 @@ class ApopheniaConfig:
         Completion model of asynchronous mining jobs, in operations.
     initial_ingest_margin_ops:
         Starting margin of the distributed ingestion agreement.
+    max_sessions / max_outstanding_jobs / shared_memo_capacity:
+        Service-layer knobs, read by :class:`~repro.service.ApopheniaService`
+        (a single processor ignores them): the session budget before LRU
+        eviction, the bound on queued-but-unmined jobs before the shared
+        executor applies backpressure, and the capacity of the
+        cross-session :class:`~repro.core.jobs.MiningMemo`.
     """
 
     min_trace_length: int = 5
@@ -115,6 +121,9 @@ class ApopheniaConfig:
     job_base_latency_ops: int = 50
     job_per_token_latency_ops: float = 0.05
     initial_ingest_margin_ops: int = 128
+    max_sessions: int = 64
+    max_outstanding_jobs: int = 64
+    shared_memo_capacity: int = 256
 
     def with_overrides(self, **kwargs):
         return replace(self, **kwargs)
@@ -142,9 +151,16 @@ class ApopheniaProcessor:
     coordinator:
         Shared :class:`repro.core.coordination.IngestCoordinator` when
         running replicated; ``None`` runs a private one.
+    executor:
+        An injected mining executor satisfying the
+        :class:`~repro.core.jobs.JobExecutor` interface (``submit`` plus
+        the submission counters). The multi-tenant service passes a
+        per-session lane of its shared executor here; ``None`` builds a
+        private :class:`JobExecutor` from ``config``.
     """
 
-    def __init__(self, runtime, config=None, node_id=0, coordinator=None):
+    def __init__(self, runtime, config=None, node_id=0, coordinator=None,
+                 executor=None):
         self.runtime = runtime
         self.config = config or ApopheniaConfig()
         self.node_id = node_id
@@ -152,7 +168,7 @@ class ApopheniaProcessor:
         runtime.auto_tracing = True  # launches now cost 12us, Section 6.3
 
         self.hasher = TaskHasher()
-        self.executor = JobExecutor(
+        self.executor = executor if executor is not None else JobExecutor(
             repeats_algorithm=_resolve_repeats_algorithm(
                 self.config.repeats_algorithm, self.config.sa_backend
             ),

@@ -48,6 +48,22 @@ class ReplayerStats:
         self.candidates_ingested = 0
         self.deferrals = 0
 
+    def as_tuple(self):
+        """All counters, in slot order -- the decision-neutrality tests
+        compare a session's stats against its standalone run with this."""
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other):
+        if not isinstance(other, ReplayerStats):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __repr__(self):
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name in self.__slots__
+        )
+        return f"ReplayerStats({fields})"
+
 
 class TraceReplayer:
     """Matches candidate traces against the live stream and issues them.
@@ -205,7 +221,9 @@ class TraceReplayer:
         threshold = self.scoring.score(match.candidate, index)
         for pointer in self.trie.active:
             if pointer.start_index >= match.end_index:
-                continue  # consumes only stream beyond the match
+                # Pointers are sorted by start_index: every later one also
+                # consumes only stream beyond the match.
+                break
             node = pointer.node
             deep = node.deep
             if deep is None or deep.length <= node.depth:

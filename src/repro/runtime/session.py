@@ -1,0 +1,108 @@
+"""Per-session runtime handles for the multi-tenant service layer.
+
+Every tenant of an :class:`~repro.service.ApopheniaService` needs its own
+:class:`~repro.runtime.runtime.Runtime`: region forests, pipeline clocks,
+tracing-engine namespaces, and iteration counters must stay isolated
+between tenants, exactly as two applications on one machine own separate
+Legion runtime instances. What *is* shared is the machine description and
+the calibrated cost model -- the service is one deployment on one machine.
+
+:class:`RuntimeSessionFactory` pins that shared spec once and stamps out
+identically configured runtimes on demand; :class:`RuntimeHandle` binds a
+session id to its runtime and exposes the result accessors experiments
+need without reaching through the service.
+"""
+
+import itertools
+
+from repro.runtime.costmodel import DEFAULT_COST_MODEL
+from repro.runtime.machine import PERLMUTTER
+from repro.runtime.runtime import Runtime, TaskMode
+
+
+class RuntimeHandle:
+    """One session's runtime plus convenience accessors."""
+
+    __slots__ = ("session_id", "runtime", "created_seq")
+
+    def __init__(self, session_id, runtime, created_seq=0):
+        self.session_id = session_id
+        self.runtime = runtime
+        self.created_seq = created_seq
+
+    @property
+    def tasks_launched(self):
+        return self.runtime.tasks_launched
+
+    @property
+    def total_time(self):
+        return self.runtime.total_time
+
+    def throughput(self, warmup_iterations, end_iteration=None):
+        return self.runtime.throughput(warmup_iterations, end_iteration)
+
+    def traced_fraction(self):
+        return self.runtime.traced_fraction()
+
+    def replayed_tasks(self):
+        """Count of tasks executed as memoized replays."""
+        return sum(
+            1 for r in self.runtime.task_log if r.mode == TaskMode.REPLAYED
+        )
+
+    def __repr__(self):
+        return (
+            f"RuntimeHandle({self.session_id!r}, "
+            f"tasks={self.runtime.tasks_launched})"
+        )
+
+
+class RuntimeSessionFactory:
+    """Builds identically configured per-session runtimes.
+
+    Parameters mirror :class:`~repro.runtime.runtime.Runtime`; the defaults
+    are tuned for service workloads (``fast`` analysis, ``fallback``
+    mismatch policy, no task log) where many long-lived tenants would make
+    full dependence analysis and per-task logs prohibitively expensive.
+    """
+
+    def __init__(
+        self,
+        cost_model=DEFAULT_COST_MODEL,
+        machine=PERLMUTTER,
+        gpus=1,
+        analysis_mode="fast",
+        mismatch_policy="fallback",
+        keep_task_log=False,
+    ):
+        self.cost_model = cost_model
+        self.machine = machine
+        self.gpus = gpus
+        self.analysis_mode = analysis_mode
+        self.mismatch_policy = mismatch_policy
+        self.keep_task_log = keep_task_log
+        self.handles = {}
+        self._seq = itertools.count()
+
+    def create(self, session_id):
+        """Create (and track) a fresh runtime handle for ``session_id``."""
+        if session_id in self.handles:
+            raise ValueError(f"session {session_id!r} already has a runtime")
+        runtime = Runtime(
+            cost_model=self.cost_model,
+            machine=self.machine,
+            gpus=self.gpus,
+            mismatch_policy=self.mismatch_policy,
+            analysis_mode=self.analysis_mode,
+            keep_task_log=self.keep_task_log,
+        )
+        handle = RuntimeHandle(session_id, runtime, next(self._seq))
+        self.handles[session_id] = handle
+        return handle
+
+    def release(self, session_id):
+        """Drop the handle for an evicted/closed session, if tracked."""
+        return self.handles.pop(session_id, None)
+
+    def __len__(self):
+        return len(self.handles)

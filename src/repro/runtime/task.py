@@ -30,22 +30,30 @@ class RegionRequirement:
         Reduction operator name when ``privilege`` is ``REDUCE``.
     """
 
-    __slots__ = ("region", "privilege", "fields", "redop")
+    __slots__ = ("region", "privilege", "fields", "redop", "_signature")
 
     def __init__(self, region, privilege, fields=None, redop=None):
         self.region = region
         self.privilege = privilege
         self.fields = frozenset(fields) if fields is not None else region.fields
         self.redop = redop
+        self._signature = None
 
     def signature(self):
-        """A hashable value capturing everything that affects the analysis."""
-        return (
-            self.region.uid,
-            self.privilege.value,
-            tuple(sorted(self.fields)),
-            self.redop,
-        )
+        """A hashable value capturing everything that affects the analysis.
+
+        Cached: requirements are immutable after construction, and the
+        signature is rebuilt several times per task on the serving path
+        (hashing, then trace recording/validation).
+        """
+        if self._signature is None:
+            self._signature = (
+                self.region.uid,
+                self.privilege.value,
+                tuple(sorted(self.fields)),
+                self.redop,
+            )
+        return self._signature
 
     def __repr__(self):
         fields = ",".join(sorted(self.fields))
@@ -85,6 +93,7 @@ class Task:
         "comm_cost",
         "scalar_args",
         "provenance",
+        "_signature",
     )
 
     def __init__(
@@ -103,15 +112,23 @@ class Task:
         self.comm_cost = comm_cost
         self.scalar_args = tuple(scalar_args)
         self.provenance = provenance
+        self._signature = None
 
     def signature(self):
         """The hashable signature used for trace identity.
 
         Two task launches with equal signatures are indistinguishable to the
         dependence analysis, which is precisely the condition under which
-        memoized analysis results may be replayed.
+        memoized analysis results may be replayed. Cached, like the
+        requirement signatures: a task's requirements never change after
+        construction.
         """
-        return (self.name, tuple(req.signature() for req in self.requirements))
+        if self._signature is None:
+            self._signature = (
+                self.name,
+                tuple(req.signature() for req in self.requirements),
+            )
+        return self._signature
 
     def reads(self, region):
         return any(

@@ -1,0 +1,27 @@
+"""Multi-tenant Apophenia: many token streams, one mining backend.
+
+The paper's system serves one application; the service layer serves many
+concurrent application *sessions* from one process without duplicating
+executors, memos, or schedulers:
+
+* :mod:`repro.service.executor` -- the shared mining executor: per-session
+  submit lanes, a priority/fair scheduler, a cross-session window memo,
+  and an outstanding-job budget;
+* :mod:`repro.service.service` -- :class:`ApopheniaService`: session
+  admission, LRU eviction, and per-task routing.
+
+The whole layer is decision-neutral by construction: every session's
+tbegin/tend stream is byte-identical to running its application alone
+(see :mod:`repro.service.executor` for the argument, and
+``tests/test_service.py`` for the property tests).
+"""
+
+from repro.service.executor import SessionLane, SharedJobExecutor
+from repro.service.service import ApopheniaService, SessionHandle
+
+__all__ = [
+    "ApopheniaService",
+    "SessionHandle",
+    "SessionLane",
+    "SharedJobExecutor",
+]

@@ -1,0 +1,235 @@
+"""The multi-tenant Apophenia service.
+
+:class:`ApopheniaService` multiplexes N concurrent application sessions --
+each a full ``(TaskHasher, TraceFinder, TraceReplayer)`` triple fronting
+its own runtime -- over ONE shared mining executor
+(:class:`~repro.service.executor.SharedJobExecutor`). Sharing the mining
+backend is what makes the service more than N processors in a dict:
+identical windows from different tenants hit the same memo entry (safe
+because mining results are pure functions of the window), and one fair
+scheduler amortizes the analysis cost the paper attributes to a single
+application across the whole tenant population.
+
+What is shared vs. per-session:
+
+==================  ====================================================
+shared              mining algorithm, cross-session memo, submit queues,
+                    fair scheduler, outstanding-job budget
+per-session         hasher, finder (history buffer + op clock), replayer
+                    (candidate trie + scoring), runtime, job-id counter
+==================  ====================================================
+
+Sessions are evicted least-recently-used when ``max_sessions`` is
+exceeded; eviction flushes the victim's buffered tasks first, so no task
+is ever dropped -- an evicted tenant merely loses its learned candidates,
+exactly as if its application had restarted.
+"""
+
+from repro.core.processor import (
+    ApopheniaConfig,
+    ApopheniaProcessor,
+    _resolve_repeats_algorithm,
+)
+from repro.runtime.session import RuntimeSessionFactory
+from repro.service.executor import SharedJobExecutor
+
+
+class SessionHandle:
+    """One tenant's slice of the service."""
+
+    __slots__ = (
+        "session_id",
+        "service",
+        "processor",
+        "runtime",
+        "lane",
+        "owns_runtime",
+        "closed",
+        "last_used",
+    )
+
+    def __init__(self, session_id, service, processor, runtime, lane,
+                 owns_runtime):
+        self.session_id = session_id
+        self.service = service
+        self.processor = processor
+        self.runtime = runtime
+        self.lane = lane
+        self.owns_runtime = owns_runtime
+        self.closed = False
+        self.last_used = 0
+
+    def execute_task(self, task):
+        """Issue one task; equivalent to ``service.execute_task``.
+
+        Routed through the service so handle-driven tenants get the same
+        LRU stamp and scheduler pump as id-addressed ones -- a handle that
+        bypassed the pump would never drain its own submit queue.
+        """
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        self.service.execute_task(self.session_id, task)
+
+    def set_iteration(self, iteration):
+        self.processor.set_iteration(iteration)
+
+    def flush(self):
+        self.processor.flush()
+
+    @property
+    def stats(self):
+        """The session's :class:`~repro.core.replayer.ReplayerStats`."""
+        return self.processor.stats
+
+    def decision_trace(self):
+        return self.processor.decision_trace()
+
+    def __repr__(self):
+        state = "closed" if self.closed else "open"
+        return f"SessionHandle({self.session_id!r}, {state})"
+
+
+class ApopheniaService:
+    """Serves many applications' token streams from one process.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.core.processor.ApopheniaConfig`; the service reads
+        the service knobs (``max_sessions``, ``max_outstanding_jobs``,
+        ``shared_memo_capacity``) plus the mining algorithm, and uses the
+        rest as the default per-session configuration. ``open_session``
+        may override the per-session part, but not the mining algorithm:
+        all tenants share one executor, and the shared memo is only safe
+        while every tenant computes the same pure function of the window.
+    runtime_factory:
+        :class:`~repro.runtime.session.RuntimeSessionFactory` used when a
+        session is opened without an application-provided runtime.
+    """
+
+    def __init__(self, config=None, runtime_factory=None):
+        self.config = config or ApopheniaConfig()
+        self.executor = SharedJobExecutor(
+            repeats_algorithm=_resolve_repeats_algorithm(
+                self.config.repeats_algorithm, self.config.sa_backend
+            ),
+            memo_capacity=self.config.shared_memo_capacity,
+            max_outstanding_jobs=self.config.max_outstanding_jobs,
+        )
+        # Explicit None check: an empty factory is falsy (it has __len__).
+        self.runtime_factory = (
+            runtime_factory if runtime_factory is not None
+            else RuntimeSessionFactory()
+        )
+        self.sessions = {}  # session_id -> SessionHandle
+        self._tick = 0  # monotonic use counter backing LRU eviction
+        self.sessions_opened = 0
+        self.sessions_evicted = 0
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(self, session_id, runtime=None, config=None, node_id=0,
+                     priority=0):
+        """Admit a tenant; returns its :class:`SessionHandle`.
+
+        ``config`` overrides the per-session Apophenia configuration
+        (buffer size, trace-length bounds, latency model...); the
+        service-level knobs and mining algorithm always come from the
+        service's own config. Admitting a session beyond ``max_sessions``
+        evicts the least-recently-used tenant first.
+        """
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        while len(self.sessions) >= max(1, self.config.max_sessions):
+            self._evict_lru()
+        cfg = config or self.config
+        owns_runtime = runtime is None
+        if owns_runtime:
+            runtime = self.runtime_factory.create(session_id).runtime
+        lane = self.executor.lane(
+            session_id,
+            node_id=node_id,
+            base_latency_ops=cfg.job_base_latency_ops,
+            per_token_latency_ops=cfg.job_per_token_latency_ops,
+            priority=priority,
+        )
+        processor = ApopheniaProcessor(
+            runtime, cfg, node_id=node_id, executor=lane
+        )
+        session = SessionHandle(session_id, self, processor, runtime, lane,
+                                owns_runtime)
+        self._tick += 1
+        session.last_used = self._tick
+        self.sessions[session_id] = session
+        self.sessions_opened += 1
+        return session
+
+    def close_session(self, session_id):
+        """Flush and retire a session; returns its handle for inspection."""
+        session = self.sessions.pop(session_id)
+        session.flush()
+        self.executor.release_lane(session_id)
+        if session.owns_runtime:
+            self.runtime_factory.release(session_id)
+        session.closed = True
+        return session
+
+    def _evict_lru(self):
+        victim_id = min(
+            self.sessions, key=lambda sid: self.sessions[sid].last_used
+        )
+        self.close_session(victim_id)
+        self.sessions_evicted += 1
+
+    def session(self, session_id):
+        """Look up an open session without touching its LRU position."""
+        return self.sessions[session_id]
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def execute_task(self, session_id, task):
+        """Issue one task on behalf of ``session_id``.
+
+        Touches the session's LRU stamp, runs the task through the
+        session's processor, then lets the shared scheduler drain any
+        mining work queued across *all* tenants. This is the service's
+        hot path -- it adds one dict lookup, one counter bump, and one
+        queue check on top of what a standalone processor pays.
+        """
+        session = self.sessions[session_id]
+        self._tick += 1
+        session.last_used = self._tick
+        session.processor.execute_task(task)
+        executor = self.executor
+        if executor.outstanding:
+            executor.pump()
+
+    def set_iteration(self, session_id, iteration):
+        self.sessions[session_id].set_iteration(iteration)
+
+    def flush_all(self):
+        """Flush every open session (end of run, or a global fence)."""
+        for session in self.sessions.values():
+            session.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return len(self.sessions)
+
+    @property
+    def stats(self):
+        """Aggregate service counters plus the shared executor's."""
+        stats = dict(self.executor.stats)
+        stats.update(
+            sessions_open=len(self.sessions),
+            sessions_opened=self.sessions_opened,
+            sessions_evicted=self.sessions_evicted,
+            tasks_seen=sum(
+                s.stats.tasks_seen for s in self.sessions.values()
+            ),
+        )
+        return stats

@@ -17,7 +17,8 @@ class TestCLI:
 
     def test_all_figures_registered(self):
         assert set(RUNNERS) == {
-            "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9", "fig10", "sec63"
+            "fig6a", "fig6b", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+            "sec63", "service",
         }
 
     def test_sec63_runs(self, capsys):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.coordination import IngestCoordinator
 from repro.core.finder import TraceFinder
-from repro.core.jobs import JobExecutor
+from repro.core.jobs import JobExecutor, MiningMemo
 
 
 class TestJobExecutor:
@@ -81,6 +81,50 @@ class TestJobExecutor:
         ex.submit(list("aa"), 1, now_op=0)  # re-mined
         assert len(calls) == 4
         assert ex.memo_hits == 0
+
+    def test_memo_hit_immune_to_caller_mutation(self):
+        """Regression: the memo used to return its stored list by
+        reference, so a caller mutating the returned repeats corrupted
+        every later hit on the same window."""
+        ex = JobExecutor()
+        window = list("ababab")
+        first = ex.submit(window, 2, now_op=0)
+        # A badly behaved consumer destroys its copy of the result.
+        first.result.clear()
+        second = ex.submit(list(window), 2, now_op=100)
+        assert ex.memo_hits == 1
+        assert [r.tokens for r in second.result] == [("a", "b")]
+        # And mutating a *hit* cannot corrupt the next hit either.
+        second.result.append("garbage")
+        third = ex.submit(list(window), 2, now_op=200)
+        assert [r.tokens for r in third.result] == [("a", "b")]
+
+    def test_memo_insert_stores_private_copy(self):
+        memo = MiningMemo(capacity=4)
+        produced = ["r1", "r2"]
+        result, hit = memo.mine([1, 2], 1, lambda tokens, m: produced)
+        assert not hit and result is produced
+        produced.clear()  # caller mutates the list it got back
+        cached, hit = memo.mine([1, 2], 1, lambda tokens, m: ["x"])
+        assert hit and cached == ["r1", "r2"]
+
+    def test_shared_memo_across_executors(self):
+        """One MiningMemo injected into two executors: the second executor
+        hits on windows the first one mined."""
+        calls = []
+
+        def counting(tokens, min_length):
+            calls.append(tuple(tokens))
+            return []
+
+        memo = MiningMemo(capacity=8)
+        a = JobExecutor(repeats_algorithm=counting, memo=memo)
+        b = JobExecutor(repeats_algorithm=counting, memo=memo)
+        a.submit(list("abab"), 2, now_op=0)
+        b.submit(list("abab"), 2, now_op=0)
+        assert len(calls) == 1
+        assert a.memo_hits == 0 and b.memo_hits == 1
+        assert memo.hits == 1 and memo.misses == 1
 
     def test_memo_disabled(self):
         calls = []

@@ -50,6 +50,40 @@ class TestMultiScaleSampler:
         sizes = [sampler.observe() for _ in range(32)]
         assert sizes.count(8) == 4
 
+    def test_full_buffer_reached_at_paper_defaults(self):
+        """factor=250, capacity=5000: the ratio (20) is not a power of two,
+        yet every period must still end with a full-buffer slice --
+        otherwise repeats longer than 4000 tokens are unfindable despite
+        the 5000-token buffer."""
+        sampler = MultiScaleSampler(factor=250, capacity=5000)
+        sizes = [s for s in (sampler.observe() for _ in range(250 * 64)) if s]
+        assert max(sizes) == 5000
+        # Two full periods of 32 triggers, each ending at the capacity.
+        assert len(sizes) == 64
+        assert sizes[31] == 5000 and sizes[63] == 5000
+        assert sizes.count(5000) == 2
+
+    def test_full_buffer_reached_when_factor_does_not_divide(self):
+        """ceil, not floor: capacity 5000 / factor 300 floors to 16 (a
+        power of two) but 300 * 16 = 4800 still undershoots the buffer."""
+        sampler = MultiScaleSampler(factor=300, capacity=5000)
+        sizes = [s for s in (sampler.observe() for _ in range(300 * 32)) if s]
+        assert max(sizes) == 5000
+        assert sizes[-1] == 5000
+
+    def test_ruler_shape_kept_for_non_power_of_two_ratio(self):
+        """Extending the period preserves the ruler shape: every slice is
+        factor * 2**ruler(k), capped at the capacity."""
+        from repro.core.sampler import ruler
+
+        factor, capacity = 250, 5000
+        sampler = MultiScaleSampler(factor=factor, capacity=capacity)
+        sizes = [s for s in (sampler.observe() for _ in range(250 * 32)) if s]
+        expected = [
+            min(factor * 2 ** ruler(k), capacity) for k in range(1, 33)
+        ]
+        assert sizes == expected
+
     def test_rejects_bad_params(self):
         with pytest.raises(ValueError):
             MultiScaleSampler(factor=0, capacity=8)

@@ -1,0 +1,253 @@
+"""Multi-tenant service layer: decision neutrality, eviction, sharing.
+
+The service's load-bearing invariant is that multiplexing changes
+throughput, never decisions: every session's ``ReplayerStats`` and trace
+boundaries must be byte-identical to running its application alone.
+"""
+
+import pytest
+
+from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.experiments.multi_tenant import (
+    capture_stream,
+    run_isolated,
+    run_service,
+)
+from repro.runtime.runtime import Runtime
+from repro.runtime.session import RuntimeSessionFactory
+from repro.service import ApopheniaService, SharedJobExecutor
+from repro.service.service import SessionHandle
+
+pytestmark = pytest.mark.service
+
+#: Small enough for tier-1, large enough to fire traces and reach the
+#: full-buffer slice of the sampling schedule (period 16 at 200/25).
+FAST_CONFIG = ApopheniaConfig(
+    min_trace_length=3,
+    batchsize=200,
+    multi_scale_factor=25,
+    job_base_latency_ops=10,
+    initial_ingest_margin_ops=20,
+)
+
+
+@pytest.fixture(scope="module")
+def app_streams():
+    """One small captured stream per application type."""
+    return {
+        name: capture_stream(name, 800, task_scale=0.05)
+        for name in ("s3d", "stencil", "jacobi", "cfd")
+    }
+
+
+def _fast_runtime():
+    return Runtime(
+        analysis_mode="fast", mismatch_policy="fallback", keep_task_log=False
+    )
+
+
+class TestDecisionNeutrality:
+    def test_interleaved_sessions_match_isolated_runs(self, app_streams):
+        """The property test: four different apps interleaved task by task
+        through one service make exactly the decisions they make alone."""
+        streams = {f"{name}-0": stream for name, stream in app_streams.items()}
+        isolated, _ = run_isolated(streams, FAST_CONFIG)
+        served, _, service = run_service(streams, FAST_CONFIG)
+        for sid in streams:
+            assert served[sid].stats == isolated[sid].stats, sid
+            assert served[sid].decision_trace == isolated[sid].decision_trace, sid
+        # The sessions actually did tracing work (the test is not vacuous).
+        assert any(o.stats[3] > 0 for o in served.values())  # traces_fired
+
+    def test_duplicate_tenants_share_mining(self, app_streams):
+        """Two tenants running the same app: the second one's windows hit
+        the shared memo, and both still decide exactly as if alone."""
+        streams = {
+            "jacobi-a": app_streams["jacobi"],
+            "jacobi-b": app_streams["jacobi"],
+        }
+        isolated, _ = run_isolated(streams, FAST_CONFIG)
+        served, _, service = run_service(streams, FAST_CONFIG)
+        for sid in streams:
+            assert served[sid].stats == isolated[sid].stats
+            assert served[sid].decision_trace == isolated[sid].decision_trace
+        # Task-by-task round-robin means the pair submits identical windows
+        # back to back: at least half of all jobs are answered by the memo.
+        stats = service.stats
+        assert stats["memo_hits"] >= stats["mines_executed"]
+        # Cross-session hits landed on the individual lanes.
+        lane_hits = [served[sid].memo_hits for sid in streams]
+        assert sum(lane_hits) == stats["memo_hits"]
+
+    def test_evicted_session_decided_like_standalone(self, app_streams):
+        """Eviction flushes the victim mid-stream; everything it decided up
+        to that point must match a standalone run of the same prefix."""
+        stream = app_streams["stencil"]
+        prefix = stream[:400]
+
+        service = ApopheniaService(FAST_CONFIG.with_overrides(max_sessions=1))
+        service.open_session("victim")
+        for iteration, task in prefix:
+            service.set_iteration("victim", iteration)
+            service.execute_task("victim", task)
+        victim = service.session("victim")
+        service.open_session("usurper")  # evicts and flushes the victim
+        assert victim.closed
+        assert service.sessions_evicted == 1
+
+        standalone = ApopheniaProcessor(_fast_runtime(), FAST_CONFIG)
+        for iteration, task in prefix:
+            standalone.set_iteration(iteration)
+            standalone.execute_task(task)
+        standalone.flush()
+        assert victim.stats == standalone.stats
+        assert victim.decision_trace() == standalone.decision_trace()
+
+
+class TestSessionLifecycle:
+    def test_open_duplicate_rejected(self):
+        service = ApopheniaService(FAST_CONFIG)
+        service.open_session("a")
+        with pytest.raises(ValueError):
+            service.open_session("a")
+
+    def test_lru_eviction_order(self):
+        service = ApopheniaService(FAST_CONFIG.with_overrides(max_sessions=2))
+        service.open_session("a")
+        service.open_session("b")
+        # Touch "a" so "b" becomes the least recently used.
+        from repro.runtime.task import Task
+
+        service.execute_task("a", Task("T"))
+        service.open_session("c")
+        assert set(service.sessions) == {"a", "c"}
+        assert service.sessions_evicted == 1
+
+    def test_closed_session_rejects_tasks(self):
+        from repro.runtime.task import Task
+
+        service = ApopheniaService(FAST_CONFIG)
+        handle = service.open_session("a")
+        service.close_session("a")
+        assert handle.closed
+        with pytest.raises(KeyError):
+            service.execute_task("a", Task("T"))
+        with pytest.raises(RuntimeError):
+            handle.execute_task(Task("T"))
+
+    def test_close_flushes_buffered_tasks(self):
+        from repro.runtime.task import Task
+
+        service = ApopheniaService(FAST_CONFIG)
+        handle = service.open_session("a")
+        for i in range(10):
+            service.execute_task("a", Task(f"T{i % 2}"))
+        service.close_session("a")
+        # Every task reached the session's runtime (none stuck buffered).
+        assert handle.runtime.tasks_launched == 10
+        assert handle.stats.tasks_seen == 10
+        assert handle.stats.tasks_flushed + handle.stats.tasks_traced == 10
+
+
+class TestSharedExecutor:
+    def _counting(self, log):
+        def algorithm(tokens, min_length):
+            log.append(tuple(tokens))
+            return []
+
+        return algorithm
+
+    def test_fair_round_robin_across_lanes(self):
+        log = []
+        shared = SharedJobExecutor(self._counting(log), memo_capacity=0)
+        a = shared.lane("a")
+        b = shared.lane("b")
+        for i in range(3):
+            a.submit([("a", i)] * 4, 1, now_op=i)
+            b.submit([("b", i)] * 4, 1, now_op=i)
+        shared.pump()
+        owners = [window[0][0] for window in log]
+        assert owners == ["a", "b", "a", "b", "a", "b"]
+
+    def test_priority_lanes_served_first(self):
+        log = []
+        shared = SharedJobExecutor(self._counting(log), memo_capacity=0)
+        background = shared.lane("background", priority=1)
+        interactive = shared.lane("interactive", priority=0)
+        background.submit([("bg", 0)] * 4, 1, now_op=0)
+        background.submit([("bg", 1)] * 4, 1, now_op=1)
+        interactive.submit([("fg", 0)] * 4, 1, now_op=0)
+        shared.pump()
+        assert log[0][0][0] == "fg"
+
+    def test_backpressure_bounds_outstanding(self):
+        log = []
+        shared = SharedJobExecutor(
+            self._counting(log), memo_capacity=0, max_outstanding_jobs=2
+        )
+        lane = shared.lane("a")
+        for i in range(6):
+            lane.submit([i] * 4, 1, now_op=i)
+            assert shared.outstanding <= 2
+        assert shared.backpressure_drains > 0
+
+    def test_result_forces_lazy_job(self):
+        log = []
+        shared = SharedJobExecutor(self._counting(log), memo_capacity=0)
+        lane = shared.lane("a")
+        job = lane.submit([1, 2, 1, 2], 1, now_op=0)
+        assert not job.materialized
+        assert job.result == []  # forces the mine ahead of the scheduler
+        assert job.materialized
+        assert shared.forced_out_of_order == 1
+        # The scheduler later skips the already-forced queue entry.
+        assert shared.pump() == 0
+        assert len(log) == 1
+
+    def test_release_lane_keeps_jobs_usable(self):
+        log = []
+        shared = SharedJobExecutor(self._counting(log), memo_capacity=0)
+        lane = shared.lane("a")
+        job = lane.submit([1, 2, 3, 4], 1, now_op=0)
+        shared.release_lane("a")
+        assert shared.outstanding == 0
+        assert job.result == []  # still materializes after release
+        # The name is free again for a future session.
+        assert shared.lane("a") is not lane
+
+    def test_memo_shared_across_lanes(self):
+        log = []
+        shared = SharedJobExecutor(self._counting(log), memo_capacity=8)
+        a = shared.lane("a")
+        b = shared.lane("b")
+        a.submit([1, 2, 1, 2], 1, now_op=0)
+        b.submit([1, 2, 1, 2], 1, now_op=0)
+        shared.pump()
+        assert len(log) == 1
+        assert a.memo_hits == 0 and b.memo_hits == 1
+
+
+class TestRuntimeSessionFactory:
+    def test_sessions_get_isolated_runtimes(self):
+        factory = RuntimeSessionFactory()
+        a = factory.create("a")
+        b = factory.create("b")
+        assert a.runtime is not b.runtime
+        assert a.runtime.forest is not b.runtime.forest
+        assert len(factory) == 2
+        factory.release("a")
+        assert len(factory) == 1
+
+    def test_duplicate_session_rejected(self):
+        factory = RuntimeSessionFactory()
+        factory.create("a")
+        with pytest.raises(ValueError):
+            factory.create("a")
+
+    def test_service_uses_factory(self):
+        factory = RuntimeSessionFactory()
+        service = ApopheniaService(FAST_CONFIG, runtime_factory=factory)
+        service.open_session("a")
+        assert "a" in factory.handles
+        service.close_session("a")
+        assert "a" not in factory.handles
