@@ -1,6 +1,6 @@
 # Convenience targets; see ROADMAP.md for the canonical commands.
 
-.PHONY: verify verify-full test bench service-bench
+.PHONY: verify verify-full test bench service-bench api-check
 
 ## Tier-1 tests plus the perf_smoke guards (the pre-commit check).
 verify:
@@ -19,3 +19,7 @@ bench:
 ## The multi-tenant service benchmark on its own.
 service-bench:
 	PYTHONPATH=src python -m pytest -q benchmarks/test_perf_service.py -m service
+
+## Public-API snapshot + client-facade suites on their own.
+api-check:
+	PYTHONPATH=src python -m pytest -q -m api tests

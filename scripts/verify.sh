@@ -13,6 +13,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 unit suite"
 python -m pytest -x -q tests
 
+# The facade suites already ran as part of tests/; this step re-checks
+# only the frozen __all__ snapshot so an API-surface drift fails with an
+# unmistakable step name.
+echo "== public API surface"
+python -m pytest -x -q -m api tests/test_api_surface.py
+
 echo "== perf_smoke guards"
 python -m pytest -x -q -m perf_smoke
 

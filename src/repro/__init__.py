@@ -22,6 +22,15 @@ system (ASPLOS 2025) together with every substrate it depends on:
 * :mod:`repro.service` -- the multi-tenant service layer: many concurrent
   application sessions multiplexed over one shared mining executor with a
   cross-session window memo, fair scheduling, and LRU session eviction.
+* :mod:`repro.api` -- the deployment-agnostic client API: one session
+  lifecycle (``open_session`` / ``submit`` / ``flush`` / ``stats`` /
+  ``snapshot`` / ``close``) over interchangeable tracing backends, a
+  validating config builder with named profiles and centralized
+  ``REPRO_*`` environment layering, and the unified plugin registries.
+
+Most client code needs only :func:`repro.api.open_session` (re-exported
+here as :func:`repro.open_session`) and :func:`repro.build_config`; the
+classes below remain public for code wiring deployments together.
 """
 
 from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
@@ -29,8 +38,9 @@ from repro.core.repeats import find_repeats
 from repro.runtime.runtime import Runtime
 from repro.runtime.machine import EOS, PERLMUTTER, MachineConfig
 from repro.service import ApopheniaService
+from repro.api import SessionStats, build_config, open_session
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ApopheniaConfig",
@@ -40,6 +50,9 @@ __all__ = [
     "MachineConfig",
     "PERLMUTTER",
     "EOS",
+    "SessionStats",
+    "build_config",
     "find_repeats",
+    "open_session",
     "__version__",
 ]

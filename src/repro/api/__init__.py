@@ -1,0 +1,91 @@
+"""repro.api: the deployment-agnostic client API.
+
+The paper's Apophenia has exactly one entry point (``ExecuteTask``); as
+this repo grew a standalone processor, a multi-tenant service, and
+coordinator plumbing for replicated nodes, each sprouted its own
+construction idiom. This package is the one stable surface in front of
+all of them:
+
+* :func:`open_session` / :class:`Session` -- the session lifecycle
+  (``submit`` / ``set_iteration`` / ``flush`` / ``stats`` /
+  ``snapshot`` / ``close``, context-manager friendly), identical
+  whichever backend serves it;
+* :class:`TracingBackend` -- the protocol that makes backends
+  interchangeable, with :data:`TRACING_BACKENDS` as the plugin registry
+  (``"standalone"``, ``"service"``, multi-node next);
+* :func:`build_config` -- the validating configuration builder: named
+  :data:`PROFILES`, keyword overrides, and centralized ``REPRO_*``
+  environment layering;
+* :class:`SessionStats` -- one structured statistics snapshot replacing
+  internals-poking, plus :class:`SessionSnapshot` for decision-stream
+  parity checks;
+* :func:`registries` -- every plugin point in the system, for
+  introspection and tooling.
+
+Decision streams produced through this facade are byte-identical to
+driving an :class:`~repro.core.processor.ApopheniaProcessor` directly --
+property-tested per application and per backend in ``tests/test_api.py``.
+"""
+
+from repro.api.config import (
+    DEFAULT_PROFILE,
+    ENV_PREFIX,
+    PROFILES,
+    PROFILE_ENV_VAR,
+    build_config,
+    env_overrides,
+    profile_names,
+    validate_config,
+)
+from repro.api.session import (
+    Session,
+    SessionSnapshot,
+    StandaloneBackend,
+    TRACING_BACKENDS,
+    TracingBackend,
+    open_session,
+)
+from repro.api.stats import SessionStats, collect_session_stats
+from repro.core.processor import ApopheniaConfig
+from repro.service.service import ApopheniaService
+
+
+def registries():
+    """Every plugin registry in the system, by name.
+
+    One introspection point over the unified registry pattern: tracing
+    backends, configuration profiles, suffix-array backends, and
+    applications. Imported lazily so ``repro.api`` itself stays light.
+    """
+    from repro.apps.base import APP_REGISTRY
+    from repro.core.sa_backends import BACKENDS
+
+    return {
+        "tracing_backends": TRACING_BACKENDS,
+        "config_profiles": PROFILES,
+        "sa_backends": BACKENDS,
+        "apps": APP_REGISTRY,
+    }
+
+
+__all__ = [
+    "ApopheniaConfig",
+    "ApopheniaService",
+    "DEFAULT_PROFILE",
+    "ENV_PREFIX",
+    "PROFILES",
+    "PROFILE_ENV_VAR",
+    "Session",
+    "SessionSnapshot",
+    "SessionStats",
+    "StandaloneBackend",
+    "TRACING_BACKENDS",
+    "TracingBackend",
+    "build_config",
+    "collect_session_stats",
+    "env_overrides",
+    "open_session",
+    "profile_names",
+    "registries",
+    "validate_config",
+]

@@ -1,0 +1,410 @@
+"""The deployment-agnostic session facade.
+
+One lifecycle, whatever serves it::
+
+    import repro.api as api
+
+    with api.open_session("tenant-a") as session:      # standalone
+        for task in tasks:
+            session.submit(task)
+        session.flush()
+        print(session.stats().replay_fraction)
+
+    service = api.ApopheniaService(api.build_config(profile="service"))
+    with api.open_session("tenant-a", backend=service) as session:
+        ...                                            # same code, shared
+                                                       # mining backend
+
+"Standalone processor", "lane in a shared service", and (future)
+"replicated node" are interchangeable **tracing backends** behind the
+:class:`TracingBackend` protocol: anything with ``backend_kind``,
+``open_session``, ``close_session``, and ``backend_stats``.
+:class:`~repro.core.processor.ApopheniaProcessor` (one session, itself)
+and :class:`~repro.service.ApopheniaService` (many sessions over one
+shared executor) both implement it; :class:`StandaloneBackend` pools
+per-session processors behind the same shape so ``backend="standalone"``
+and ``backend="service"`` are symmetric. The multi-node path will slot
+an ``IngestCoordinator``-backed replicated backend in behind the same
+surface without touching client code.
+
+The facade is decision-neutral by construction: it adds no buffering, no
+reordering, and no configuration of its own -- ``submit`` is one method
+call down to the backend's serving path -- so the tbegin/tend stream a
+session produces is byte-identical to driving its processor directly
+(property-tested in ``tests/test_api.py``).
+"""
+
+import itertools
+from typing import Protocol, runtime_checkable
+
+from repro.api.config import build_config, env_overrides, validate_config
+from repro.api.stats import collect_session_stats
+from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.registry import Registry
+from repro.runtime.session import RuntimeSessionFactory
+from repro.service.service import ApopheniaService
+
+
+@runtime_checkable
+class TracingBackend(Protocol):
+    """What the facade needs from anything that can serve sessions.
+
+    Implemented by :class:`~repro.core.processor.ApopheniaProcessor`
+    (single-session: ``open_session`` binds and returns the processor
+    itself), :class:`~repro.service.ApopheniaService` (multi-tenant:
+    returns a ``SessionHandle``), and :class:`StandaloneBackend` (a pool
+    of per-session processors). The returned handle must support
+    ``execute_task``, ``set_iteration``, ``flush``, ``stats`` (the
+    replayer counters), and ``decision_trace``.
+    """
+
+    backend_kind: str
+
+    def open_session(self, session_id, runtime=None, config=None, node_id=0,
+                     priority=0):
+        ...
+
+    def close_session(self, session_id):
+        ...
+
+    @property
+    def backend_stats(self):
+        ...
+
+
+class StandaloneBackend:
+    """N independent processors behind the service's session surface.
+
+    The "one Apophenia per application" deployment of the paper, shaped
+    like a :class:`TracingBackend` so standalone and service sessions are
+    interchangeable at the facade. Nothing is shared between sessions --
+    each gets its own processor, executor, memo, and (unless provided)
+    its own runtime from ``runtime_factory``.
+    """
+
+    backend_kind = "standalone"
+
+    def __init__(self, config=None, runtime_factory=None):
+        self.config = config or ApopheniaConfig()
+        # keep_task_log=True: standalone sessions are the interactive /
+        # example path where callers inspect traced fractions; service
+        # factories default it off for fleet-scale reasons.
+        self.runtime_factory = (
+            runtime_factory if runtime_factory is not None
+            else RuntimeSessionFactory(keep_task_log=True)
+        )
+        self.sessions = {}  # session_id -> (processor, owns_runtime)
+        self.sessions_opened = 0
+        # Lifetime counters of closed sessions, so backend_stats reports
+        # the same history a service's shared executor would (its
+        # aggregates survive release_lane).
+        self._retired_jobs = 0
+        self._retired_memo_hits = 0
+
+    def open_session(self, session_id, runtime=None, config=None, node_id=0,
+                     priority=0):
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        del priority  # nothing is shared, so nothing to prioritize
+        owns_runtime = runtime is None
+        if owns_runtime:
+            runtime = self.runtime_factory.create(session_id).runtime
+        processor = ApopheniaProcessor(
+            runtime, config or self.config, node_id=node_id
+        )
+        processor.open_session(session_id)
+        self.sessions[session_id] = (processor, owns_runtime)
+        self.sessions_opened += 1
+        return processor
+
+    def close_session(self, session_id):
+        processor, owns_runtime = self.sessions.pop(session_id)
+        processor.close_session(session_id)
+        self._retired_jobs += processor.executor.jobs_submitted
+        self._retired_memo_hits += processor.executor.memo_hits
+        if owns_runtime:
+            self.runtime_factory.release(session_id)
+        return processor
+
+    @property
+    def backend_stats(self):
+        """Summed per-processor counters, shaped like the service's.
+
+        Counters are lifetime aggregates (closed sessions included);
+        ``memo_tokens_held`` and ``outstanding`` are gauges over the
+        currently open sessions only.
+        """
+        totals = {
+            "lanes": len(self.sessions),
+            "outstanding": 0,
+            "jobs_materialized": self._retired_jobs,
+            "memo_hits": self._retired_memo_hits,
+            "memo_tokens_held": 0,
+            "sessions_open": len(self.sessions),
+            "sessions_opened": self.sessions_opened,
+            "sessions_evicted": 0,
+        }
+        for processor, _ in self.sessions.values():
+            stats = processor.backend_stats
+            for key in ("jobs_materialized", "memo_hits", "memo_tokens_held",
+                        "outstanding"):
+                totals[key] += stats[key]
+        totals["memo_hit_rate"] = (
+            totals["memo_hits"] / totals["jobs_materialized"]
+            if totals["jobs_materialized"] else 0.0
+        )
+        return totals
+
+    def __len__(self):
+        return len(self.sessions)
+
+
+#: The tracing-backend plugin point: name -> ``factory(config) ->
+#: TracingBackend``. The future replicated/multi-node backend registers
+#: here; client code keeps calling ``open_session(backend="<name>")``.
+TRACING_BACKENDS = Registry("tracing backend", {
+    "standalone": StandaloneBackend,
+    "service": ApopheniaService,
+})
+
+
+class SessionSnapshot:
+    """A deterministic summary of everything a session has decided.
+
+    Two runs of the same token stream that made byte-identical
+    tbegin/tend decisions produce equal :attr:`decisions`, whatever
+    backend served them -- this is the object the decision-stream parity
+    property tests compare.
+    """
+
+    __slots__ = ("session_id", "backend", "decision_trace", "replayer")
+
+    def __init__(self, session_id, backend, decision_trace, replayer):
+        self.session_id = session_id
+        self.backend = backend
+        self.decision_trace = decision_trace
+        self.replayer = replayer
+
+    @classmethod
+    def of(cls, handle, backend="standalone"):
+        """Snapshot any session handle (or bare processor) directly."""
+        processor = getattr(handle, "processor", handle)
+        return cls(
+            getattr(handle, "session_id", None),
+            backend,
+            tuple(processor.decision_trace()),
+            processor.stats.as_tuple(),
+        )
+
+    @property
+    def decisions(self):
+        """The backend-independent part: trace boundaries + counters."""
+        return (self.decision_trace, self.replayer)
+
+    def __eq__(self, other):
+        if not isinstance(other, SessionSnapshot):
+            return NotImplemented
+        return self.decisions == other.decisions
+
+    def __hash__(self):
+        return hash(self.decisions)
+
+    def __repr__(self):
+        return (
+            f"SessionSnapshot({self.session_id!r}, {self.backend}, "
+            f"traces={len(self.decision_trace)}, "
+            f"tasks={self.replayer[0]})"
+        )
+
+
+_AUTO_IDS = itertools.count()
+
+
+def _attach_config(backend_obj, config, profile, env, overrides):
+    """Per-session config when attaching to an existing backend.
+
+    An explicit ``config`` or ``profile`` names the base outright. Bare
+    ``overrides`` / ``env`` layer on the *backend's own* config -- a
+    tenant tweaking one knob on a tuned service must not be silently
+    rebased onto the default profile. Like the explicit-config path of
+    :func:`build_config`, ambient ``os.environ`` is not consulted here;
+    an ``env`` mapping applies only when passed.
+    """
+    if config is not None or profile is not None:
+        return build_config(profile=profile, config=config, env=env,
+                            **overrides)
+    base = getattr(backend_obj, "config", None)
+    if base is None:
+        return build_config(env=env, **overrides)
+    if overrides:
+        base = base.with_overrides(**overrides)
+    if env is not None:
+        layered = env_overrides(env)
+        if layered:
+            base = base.with_overrides(**layered)
+    return validate_config(base)
+
+
+class Session:
+    """One open tracing session, whatever backend serves it.
+
+    Usable as a context manager (``close`` on exit). The lifecycle is
+    ``submit(task)`` / ``set_iteration`` / ``flush()`` / ``stats()`` /
+    ``snapshot()`` / ``close()``; ``processor`` and ``runtime`` remain
+    available as escape hatches for code that genuinely needs the
+    deployment-specific object underneath.
+    """
+
+    __slots__ = ("session_id", "backend", "handle", "owns_backend", "closed")
+
+    def __init__(self, session_id, backend, handle, owns_backend):
+        self.session_id = session_id
+        self.backend = backend
+        self.handle = handle
+        self.owns_backend = owns_backend
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, task):
+        """Issue one task through the session's tracing pipeline."""
+        self.handle.execute_task(task)
+
+    #: Alias so a :class:`Session` is a drop-in executor anywhere an
+    #: ``execute_task``-shaped object is expected (runtime, processor,
+    #: service handle, application base class).
+    execute_task = submit
+
+    def set_iteration(self, iteration):
+        self.handle.set_iteration(iteration)
+
+    def flush(self):
+        """Drain all buffered tasks (program end, or a fence)."""
+        self.handle.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self):
+        """The uniform :class:`~repro.api.stats.SessionStats` snapshot."""
+        return collect_session_stats(
+            self.handle, backend=self.backend.backend_kind
+        )
+
+    def snapshot(self):
+        """Deterministic :class:`SessionSnapshot` of all decisions."""
+        return SessionSnapshot.of(self.handle, self.backend.backend_kind)
+
+    def decision_trace(self):
+        return self.handle.decision_trace()
+
+    @property
+    def processor(self):
+        """The underlying :class:`ApopheniaProcessor` (escape hatch)."""
+        return getattr(self.handle, "processor", self.handle)
+
+    @property
+    def runtime(self):
+        return self.handle.runtime
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self):
+        """Flush and release the session; idempotent.
+
+        Tolerates the backend having closed the session first (service
+        LRU eviction): the facade then only marks itself closed.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if getattr(self.handle, "closed", False):
+            return  # evicted (and flushed) by the backend already
+        try:
+            self.backend.close_session(self.session_id)
+        except KeyError:
+            pass  # raced with a backend-side close
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        state = "closed" if self.closed else "open"
+        return (
+            f"Session({self.session_id!r}, "
+            f"backend={self.backend.backend_kind}, {state})"
+        )
+
+
+def open_session(session_id=None, *, backend="standalone", config=None,
+                 profile=None, runtime=None, node_id=0, priority=0,
+                 env=None, **overrides):
+    """Open a tracing session on any deployment; returns a :class:`Session`.
+
+    Parameters
+    ----------
+    session_id:
+        Tenant identity on the backend; auto-generated when omitted.
+    backend:
+        A :data:`TRACING_BACKENDS` name (``"standalone"``, ``"service"``)
+        -- the facade then builds a private backend from the resolved
+        config -- or an existing :class:`TracingBackend` instance (for
+        example a shared :class:`~repro.service.ApopheniaService`), which
+        the facade attaches to without owning.
+    config / profile / overrides / env:
+        Configuration layering, resolved by
+        :func:`repro.api.config.build_config`. When attaching to an
+        existing backend: with no explicit configuration the backend's
+        own config governs (passing nothing really means "the service
+        decides", exactly as ``ApopheniaService.open_session`` behaves),
+        and keyword overrides / an ``env`` mapping without a base are
+        layered on top of the *backend's* config -- never silently
+        rebased onto a default profile.
+    runtime:
+        An application-owned runtime; omitted, the backend creates one.
+    node_id / priority:
+        Replication node id, and the session's scheduling class on
+        shared backends (lower serves first).
+    """
+    if session_id is None:
+        session_id = f"session-{next(_AUTO_IDS)}"
+    explicit = (config is not None or profile is not None or bool(overrides)
+                or env is not None)
+    if isinstance(backend, str):
+        factory = TRACING_BACKENDS[backend]
+        cfg = build_config(profile=profile, config=config, env=env,
+                           **overrides)
+        backend_obj = factory(cfg)
+        owns_backend = True
+        session_config = None  # the backend was built from it already
+    else:
+        backend_obj = backend
+        owns_backend = False
+        session_config = (
+            _attach_config(backend_obj, config, profile, env, overrides)
+            if explicit else None
+        )
+    handle = backend_obj.open_session(
+        session_id,
+        runtime=runtime,
+        config=session_config,
+        node_id=node_id,
+        priority=priority,
+    )
+    return Session(session_id, backend_obj, handle, owns_backend)
+
+
+__all__ = [
+    "Session",
+    "SessionSnapshot",
+    "StandaloneBackend",
+    "TRACING_BACKENDS",
+    "TracingBackend",
+    "open_session",
+]

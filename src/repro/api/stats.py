@@ -1,0 +1,119 @@
+"""Uniform structured session statistics.
+
+Before this surface existed, callers poked backend internals --
+``processor.stats.as_tuple()`` for the replayer counters,
+``processor.executor.memo_hits`` for memo reuse,
+``session.lane.memo_hits`` on the service, ``service.sessions_evicted``
+for eviction pressure -- with a different spelling per deployment.
+:class:`SessionStats` is one frozen snapshot with the same fields
+whichever backend served the session, and
+:func:`collect_session_stats` knows how to read every backend's handle
+shape (a bare :class:`~repro.core.processor.ApopheniaProcessor` or a
+service :class:`~repro.service.service.SessionHandle`).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Field order of the replayer-counter slice, matching
+#: :meth:`repro.core.replayer.ReplayerStats.as_tuple`.
+_REPLAYER_FIELDS = (
+    "tasks_seen",
+    "tasks_flushed",
+    "tasks_traced",
+    "traces_fired",
+    "candidates_ingested",
+    "deferrals",
+)
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """One deployment-agnostic statistics snapshot of a session.
+
+    The replayer counters (``tasks_seen`` ... ``deferrals``) are the
+    decision-stream-determined part: two runs of the same stream that
+    made the same decisions have identical values, whichever backend
+    served them. The executor-side fields (memo hits, outstanding jobs,
+    quota, evictions) describe *how* the backend served the session and
+    may legitimately differ between deployments.
+    """
+
+    session_id: object
+    backend: str
+    # Decision-determined (replayer) counters.
+    tasks_seen: int
+    tasks_flushed: int
+    tasks_traced: int
+    traces_fired: int
+    candidates_ingested: int
+    deferrals: int
+    # Executor-side serving counters.
+    jobs_submitted: int
+    tokens_analyzed: int
+    memo_hits: int
+    outstanding_jobs: int
+    quota_limit: Optional[int]
+    quota_stalls: int
+    evictions: int
+
+    @property
+    def memo_hit_rate(self):
+        """Fraction of this session's mining jobs answered by a memo."""
+        return self.memo_hits / self.jobs_submitted if self.jobs_submitted else 0.0
+
+    @property
+    def replay_fraction(self):
+        """Fraction of the session's tasks issued inside a trace."""
+        return self.tasks_traced / self.tasks_seen if self.tasks_seen else 0.0
+
+    def replayer_counters(self):
+        """The decision-determined slice, in
+        :meth:`~repro.core.replayer.ReplayerStats.as_tuple` order -- what
+        the decision-neutrality property tests compare."""
+        return tuple(getattr(self, name) for name in _REPLAYER_FIELDS)
+
+
+def collect_session_stats(handle, evictions=None, backend=None):
+    """Build a :class:`SessionStats` from any backend's session handle.
+
+    ``handle`` is what ``TracingBackend.open_session`` returned: the
+    processor itself (standalone) or a service ``SessionHandle``.
+    ``evictions`` overrides the backend-eviction counter for callers
+    holding richer context; by default it is read off the owning service
+    (0 for standalone backends, which never evict). ``backend`` is the
+    serving backend's ``backend_kind``; ``Session.stats`` passes it
+    down, and bare calls fall back to inferring it from the executor
+    shape (a session lane has a ``shared`` executor behind it).
+    """
+    processor = getattr(handle, "processor", handle)
+    replayer = processor.stats
+    executor = processor.executor
+    shared = getattr(executor, "shared", None)
+    if evictions is None:
+        service = getattr(handle, "service", None)
+        evictions = service.sessions_evicted if service is not None else 0
+    if backend is None:
+        backend = "service" if shared is not None else "standalone"
+    return SessionStats(
+        session_id=getattr(handle, "session_id", None),
+        backend=backend,
+        tasks_seen=replayer.tasks_seen,
+        tasks_flushed=replayer.tasks_flushed,
+        tasks_traced=replayer.tasks_traced,
+        traces_fired=replayer.traces_fired,
+        candidates_ingested=replayer.candidates_ingested,
+        deferrals=replayer.deferrals,
+        jobs_submitted=executor.jobs_submitted,
+        tokens_analyzed=executor.tokens_analyzed,
+        memo_hits=executor.memo_hits,
+        outstanding_jobs=getattr(executor, "outstanding", 0),
+        quota_limit=(
+            shared.lane_outstanding_quota if shared is not None else None
+        ),
+        quota_stalls=getattr(executor, "quota_stalls", 0),
+        evictions=evictions,
+    )
+
+
+__all__ = ["SessionStats", "collect_session_stats"]

@@ -22,7 +22,13 @@ costs -- rather than its numerics:
   motivating example, written against :mod:`repro.arrays`.
 """
 
-from repro.apps.base import Application, AppConfig, build_app, APP_REGISTRY
+from repro.apps.base import (
+    Application,
+    AppConfig,
+    APP_REGISTRY,
+    build_app,
+    get_app,
+)
 from repro.apps.s3d import S3D
 from repro.apps.htr import HTR
 from repro.apps.cfd import CFD
@@ -35,6 +41,7 @@ __all__ = [
     "Application",
     "AppConfig",
     "build_app",
+    "get_app",
     "APP_REGISTRY",
     "S3D",
     "HTR",

@@ -14,7 +14,9 @@ GPUs, with per-size execution costs and a communication cost per halo
 exchange derived from the machine and cost models.
 """
 
-from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.api import open_session
+from repro.core.processor import ApopheniaConfig
+from repro.registry import Registry
 from repro.runtime.costmodel import DEFAULT_COST_MODEL
 from repro.runtime.machine import PERLMUTTER
 from repro.runtime.runtime import Runtime
@@ -128,11 +130,17 @@ class Application:
             keep_task_log=config.keep_task_log,
         )
         if config.mode == "auto":
-            self.processor = ApopheniaProcessor(
-                self.runtime, config=config.apophenia
+            # One standalone facade session over the app's own runtime:
+            # applications drive the same client API every other
+            # deployment uses, and stay oblivious to what serves them.
+            self.session = open_session(
+                f"app:{self.name}", runtime=self.runtime,
+                config=config.apophenia,
             )
-            self.executor = self.processor
+            self.processor = self.session.processor
+            self.executor = self.session
         else:
+            self.session = None
             self.processor = None
             self.executor = self.runtime
         self.setup()
@@ -185,21 +193,27 @@ class Application:
         return self.runtime.throughput(warmup)
 
 
-APP_REGISTRY = {}
+#: The application plugin point (see :mod:`repro.registry`): the same
+#: registry pattern as suffix-array backends and tracing backends.
+APP_REGISTRY = Registry("application")
 
 
 def register_app(cls):
     """Class decorator recording applications by name."""
-    APP_REGISTRY[cls.name] = cls
+    APP_REGISTRY.register(cls.name, cls)
     return cls
+
+
+def get_app(name):
+    """Look up an application class by name.
+
+    The registry raises a uniform error naming the known applications
+    for unknown names; use :func:`build_app` to construct an instance
+    with :class:`AppConfig` keywords in one call.
+    """
+    return APP_REGISTRY[name]
 
 
 def build_app(name, **kwargs):
     """Construct an application by name with :class:`AppConfig` kwargs."""
-    try:
-        cls = APP_REGISTRY[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown application {name!r}; known: {sorted(APP_REGISTRY)}"
-        ) from None
-    return cls(AppConfig(**kwargs))
+    return get_app(name)(AppConfig(**kwargs))

@@ -111,15 +111,29 @@ class MiningMemo:
     on insert and hands out a fresh shallow copy on every hit, so a caller
     mutating a returned result list can never corrupt what later hits (or
     other tenants) observe.
+
+    Admission is size-aware when a ``token_budget`` is set: every entry
+    costs its window length in tokens, and an insert evicts
+    least-recently-used entries until the total held tokens fit the
+    budget. A window larger than the whole budget is simply not admitted
+    -- one 5000-token window can no longer displace many small entries,
+    which matters once the memo is shared across the tenants of an
+    :class:`~repro.service.ApopheniaService` (tenants with small buffers
+    would otherwise lose their entire working set to one big tenant's
+    slice). ``token_budget=None`` (the default) preserves the pure
+    entry-count LRU.
     """
 
-    def __init__(self, capacity=8):
+    def __init__(self, capacity=8, token_budget=None):
         self.capacity = capacity
+        self.token_budget = token_budget
         self._entries = OrderedDict()
+        self.tokens_held = 0
         self.hits = 0
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
+        self.oversize_rejections = 0
 
     def __len__(self):
         return len(self._entries)
@@ -141,11 +155,32 @@ class MiningMemo:
     def insert(self, key, result):
         if not self.capacity:
             return
+        cost = len(key[0])
+        if self.token_budget is not None and cost > self.token_budget:
+            # Admitting this window would mean evicting *everything* and
+            # still not fitting; refusing keeps many small entries alive
+            # instead of caching one giant window nobody else can share.
+            self.oversize_rejections += 1
+            return
+        if key in self._entries:
+            # Re-insert replaces the entry: release its held tokens so
+            # the accounting cannot drift, and refresh its LRU position
+            # (plain assignment would leave it at the stale slot).
+            self.tokens_held -= cost
+            self._entries.move_to_end(key)
         self._entries[key] = list(result)
+        self.tokens_held += cost
         self.insertions += 1
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+            self._evict_lru()
+        if self.token_budget is not None:
+            while self.tokens_held > self.token_budget:
+                self._evict_lru()
+
+    def _evict_lru(self):
+        victim_key, _ = self._entries.popitem(last=False)
+        self.tokens_held -= len(victim_key[0])
+        self.evictions += 1
 
     def mine(self, tokens, min_length, algorithm):
         """Look up ``(tokens, min_length)`` or compute it via ``algorithm``.
@@ -181,6 +216,9 @@ class JobExecutor:
     memo_capacity:
         Number of recent ``(window, min_length) -> result`` entries kept in
         a private :class:`MiningMemo`. Set to 0 to disable.
+    memo_token_budget:
+        Optional size-aware admission budget for the private memo, in
+        tokens (see :class:`MiningMemo`). ``None`` keeps entry-count LRU.
     memo:
         An externally owned :class:`MiningMemo` to use instead of a private
         one -- this is how replicated nodes or service tenants share one
@@ -194,6 +232,7 @@ class JobExecutor:
         per_token_latency_ops=0.05,
         node_id=0,
         memo_capacity=8,
+        memo_token_budget=None,
         memo=None,
     ):
         self.repeats_algorithm = repeats_algorithm
@@ -204,7 +243,7 @@ class JobExecutor:
         if memo is not None:
             self.memo = memo
         elif memo_capacity:
-            self.memo = MiningMemo(memo_capacity)
+            self.memo = MiningMemo(memo_capacity, token_budget=memo_token_budget)
         else:
             self.memo = None
         self._ids = itertools.count()

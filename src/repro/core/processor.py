@@ -31,6 +31,18 @@ from repro.core.sa_backends import get_backend
 from repro.core.scoring import ScoringPolicy
 
 
+#: Artifact-style algorithm names accepted by
+#: :func:`_resolve_repeats_algorithm` (and therefore by
+#: :meth:`ApopheniaConfig.validate`); keep in lockstep with the dispatch
+#: below.
+REPEATS_ALGORITHMS = (
+    "quick_matching_of_substrings",
+    "lzw",
+    "tandem",
+    "quadratic",
+)
+
+
 def _resolve_repeats_algorithm(name, sa_backend=None):
     """Map an artifact-style algorithm name to a callable.
 
@@ -57,7 +69,10 @@ def _resolve_repeats_algorithm(name, sa_backend=None):
         from repro.analysis.quadratic import find_repeats_quadratic
 
         return find_repeats_quadratic
-    raise ValueError(f"unknown repeats algorithm {name!r}")
+    raise ValueError(
+        f"unknown repeats algorithm {name!r}; "
+        f"known: {list(REPEATS_ALGORITHMS)}"
+    )
 
 
 @dataclass(frozen=True)
@@ -105,6 +120,16 @@ class ApopheniaConfig:
         eviction, the bound on queued-but-unmined jobs before the shared
         executor applies backpressure, and the capacity of the
         cross-session :class:`~repro.core.jobs.MiningMemo`.
+    shared_memo_token_budget:
+        Optional size-aware admission budget for the shared memo, in
+        tokens: entries cost their window length, LRU eviction runs until
+        held tokens fit, and windows larger than the whole budget are not
+        admitted. ``None`` keeps pure entry-count LRU.
+    lane_outstanding_quota:
+        Optional per-session bound on queued-but-unmined mining jobs in
+        the shared executor; a tenant bursting past it drains its own
+        oldest work instead of consuming the global budget. ``None``
+        disables the quota.
     """
 
     min_trace_length: int = 5
@@ -124,9 +149,72 @@ class ApopheniaConfig:
     max_sessions: int = 64
     max_outstanding_jobs: int = 64
     shared_memo_capacity: int = 256
+    shared_memo_token_budget: Optional[int] = None
+    lane_outstanding_quota: Optional[int] = None
 
     def with_overrides(self, **kwargs):
         return replace(self, **kwargs)
+
+    def validate(self):
+        """Check cross-field invariants; returns ``self`` for chaining.
+
+        Raises ``ValueError`` naming the offending field. Construction
+        stays unvalidated (experiments deliberately build degenerate
+        configs); the :mod:`repro.api` entry points validate before any
+        backend is built, so misconfiguration fails fast at the client
+        surface instead of deep in a mining job.
+        """
+        if self.min_trace_length < 2:
+            raise ValueError(
+                f"min_trace_length must be >= 2, got {self.min_trace_length}"
+            )
+        if (self.max_trace_length is not None
+                and self.max_trace_length < self.min_trace_length):
+            raise ValueError(
+                f"max_trace_length {self.max_trace_length} < "
+                f"min_trace_length {self.min_trace_length}"
+            )
+        if self.batchsize < 2 * self.min_trace_length:
+            raise ValueError(
+                f"batchsize {self.batchsize} cannot hold one repeat of "
+                f"min_trace_length {self.min_trace_length} twice"
+            )
+        if self.multi_scale_factor < 1:
+            raise ValueError(
+                f"multi_scale_factor must be >= 1, got "
+                f"{self.multi_scale_factor}"
+            )
+        if self.identifier_algorithm not in ("multi-scale", "fixed"):
+            raise ValueError(
+                "identifier_algorithm must be 'multi-scale' or 'fixed', "
+                f"got {self.identifier_algorithm!r}"
+            )
+        if self.sa_backend is not None and not callable(self.sa_backend):
+            from repro.core.sa_backends import BACKENDS
+
+            if self.sa_backend not in BACKENDS:
+                raise ValueError(
+                    f"unknown suffix-array backend {self.sa_backend!r}; "
+                    f"known: {BACKENDS.names()}"
+                )
+        if (isinstance(self.repeats_algorithm, str)
+                and self.repeats_algorithm not in REPEATS_ALGORITHMS):
+            raise ValueError(
+                f"unknown repeats algorithm {self.repeats_algorithm!r}; "
+                f"known: {list(REPEATS_ALGORITHMS)}"
+            )
+        for name in ("mining_memo_capacity", "shared_memo_capacity",
+                     "max_outstanding_jobs", "job_base_latency_ops",
+                     "initial_ingest_margin_ops"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
+        for name in ("shared_memo_token_budget", "lane_outstanding_quota"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be None or >= 1, got {value}")
+        return self
 
     def scoring_policy(self):
         return ScoringPolicy(
@@ -159,12 +247,16 @@ class ApopheniaProcessor:
         private :class:`JobExecutor` from ``config``.
     """
 
+    #: :class:`repro.api.TracingBackend` discriminator.
+    backend_kind = "standalone"
+
     def __init__(self, runtime, config=None, node_id=0, coordinator=None,
                  executor=None):
         self.runtime = runtime
         self.config = config or ApopheniaConfig()
         self.node_id = node_id
         self.coordinator = coordinator
+        self.session_id = None  # bound by open_session (repro.api facade)
         runtime.auto_tracing = True  # launches now cost 12us, Section 6.3
 
         self.hasher = TaskHasher()
@@ -236,6 +328,73 @@ class ApopheniaProcessor:
             self.runtime.execute_task(task, charge_launch=False)
         self.runtime.end_trace(trace_id)
         self.trace_log.append((trace_id, len(tasks)))
+
+    # ------------------------------------------------------------------
+    # TracingBackend protocol (repro.api)
+    # ------------------------------------------------------------------
+    def open_session(self, session_id=None, runtime=None, config=None,
+                     node_id=0, priority=0):
+        """Bind this processor as a single-session tracing backend.
+
+        The deployment-agnostic facade (:func:`repro.api.open_session`)
+        calls the same ``open_session``/``close_session`` pair on every
+        backend; a standalone processor *is* its only session, so binding
+        returns the processor itself. Runtime and config were fixed at
+        construction -- passing different ones here is a mistake, not an
+        override.
+        """
+        if self.session_id is not None:
+            raise ValueError(
+                f"processor already serves session {self.session_id!r}; "
+                "a standalone backend holds exactly one session"
+            )
+        if runtime is not None and runtime is not self.runtime:
+            raise ValueError(
+                "standalone backend's runtime is fixed at construction"
+            )
+        if config is not None and config != self.config:
+            raise ValueError(
+                "standalone backend's config is fixed at construction"
+            )
+        if node_id not in (0, self.node_id):
+            # node_id feeds the completion-op jitter, so a silently
+            # ignored mismatch would change decisions; 0 (the protocol
+            # default) means "whatever the processor was built with".
+            raise ValueError(
+                f"processor is node {self.node_id}, cannot serve the "
+                f"session as node {node_id}; node_id is fixed at "
+                "construction"
+            )
+        del priority  # meaningful only for shared backends
+        self.session_id = session_id if session_id is not None else "default"
+        return self
+
+    def close_session(self, session_id=None):
+        """Flush and unbind the (single) session; returns the processor."""
+        if session_id is not None and session_id != self.session_id:
+            raise KeyError(session_id)
+        self.flush()
+        self.session_id = None
+        return self
+
+    @property
+    def backend_stats(self):
+        """Executor-side counters, shaped like the service's."""
+        executor = self.executor
+        memo = getattr(executor, "memo", None)
+        return {
+            "lanes": 1,
+            "outstanding": getattr(executor, "outstanding", 0),
+            "jobs_materialized": executor.jobs_submitted,
+            "memo_hits": executor.memo_hits,
+            "memo_hit_rate": (
+                executor.memo_hits / executor.jobs_submitted
+                if executor.jobs_submitted else 0.0
+            ),
+            "memo_tokens_held": memo.tokens_held if memo is not None else 0,
+            "sessions_open": 1 if self.session_id is not None else 0,
+            "sessions_evicted": 0,
+        }
 
     # ------------------------------------------------------------------
     # Introspection

@@ -34,6 +34,7 @@ import os
 from repro.core.sa_backends.doubling import suffix_array_doubling
 from repro.core.sa_backends.radix import suffix_array_radix
 from repro.core.sa_backends.sais import suffix_array_sais
+from repro.registry import Registry
 
 #: Environment variable overriding the configured backend.
 ENV_VAR = "REPRO_SA_BACKEND"
@@ -41,20 +42,27 @@ ENV_VAR = "REPRO_SA_BACKEND"
 #: Backend used when neither the environment nor the caller chooses.
 DEFAULT_BACKEND = "sais"
 
-BACKENDS = {
+#: The suffix-array construction plugin point (see :mod:`repro.registry`).
+BACKENDS = Registry("suffix-array backend", {
     "doubling": suffix_array_doubling,
     "radix": suffix_array_radix,
     "sais": suffix_array_sais,
-}
+})
 
 
 def available_backends():
     """Sorted names of every registered backend."""
-    return sorted(BACKENDS)
+    return BACKENDS.names()
 
 
 def resolve_backend_name(name=None):
-    """Resolve a backend name: env override, then ``name``, then default."""
+    """Resolve a backend name: env override, then ``name``, then default.
+
+    The environment read here is the compatibility path for code that
+    constructs processors directly; clients of :mod:`repro.api` get the
+    same layering (and every other ``REPRO_*`` knob) centralized in
+    :func:`repro.api.build_config`.
+    """
     env = os.environ.get(ENV_VAR)
     if env:
         name = env

@@ -7,11 +7,16 @@ jacobi, cfd -- pairs of tenants run the same application, as real fleets
 do) are served two ways from identical pre-captured task streams, with
 identical task-by-task round-robin arrival order:
 
-* **isolated** -- K independent :class:`ApopheniaProcessor` instances,
-  one per tenant, all live at once (the "one Apophenia per application"
-  deployment of the paper, consolidated onto one node);
+* **isolated** -- K independent processors on a
+  :class:`~repro.api.StandaloneBackend` pool, one per tenant, all live
+  at once (the "one Apophenia per application" deployment of the paper,
+  consolidated onto one node);
 * **service** -- one :class:`~repro.service.ApopheniaService` sharing a
   single mining executor and cross-session memo across all tenants.
+
+Both deployments are driven through identical :class:`repro.api.Session`
+facades -- the timed loops run the same client code, so the measured gap
+is purely the backends' doing.
 
 The two deployments do identical per-task work outside of mining, so the
 measured gap is the shared executor's doing, via two compounding memo
@@ -44,9 +49,10 @@ Used by ``benchmarks/test_perf_service.py``; also runnable standalone::
 import time
 from collections import deque
 
+from repro.api import StandaloneBackend, open_session
 from repro.apps.base import build_app
 from repro.apps.jacobi import jacobi_task_stream
-from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.core.processor import ApopheniaConfig
 from repro.runtime.region import RegionForest
 from repro.runtime.runtime import Runtime
 from repro.service import ApopheniaService
@@ -174,31 +180,49 @@ class TenantOutcome:
         self.memo_hits = memo_hits
 
 
+def _outcome(session, num_tasks):
+    """Build a :class:`TenantOutcome` from the uniform stats surface.
+
+    Before :mod:`repro.api`, this reached into backend internals
+    (``processor.stats.as_tuple()``, ``session.lane.memo_hits``) with a
+    different spelling per deployment; :meth:`Session.stats` is the same
+    call either way.
+    """
+    stats = session.stats()
+    return TenantOutcome(
+        session.session_id,
+        stats.replayer_counters(),
+        session.decision_trace(),
+        num_tasks,
+        stats.memo_hits,
+    )
+
+
 def run_isolated(streams, config=TENANT_CONFIG):
     """K live processors, no sharing, interleaved arrival order.
 
-    Returns ``(outcomes, seconds)``.
+    Returns ``(outcomes, seconds)``. The tenants are facade sessions on
+    a :class:`~repro.api.StandaloneBackend` pool -- the paper's
+    one-Apophenia-per-application deployment behind the same client API
+    the service deployment uses, so the two timed loops run identical
+    client code.
     """
-    processors = {
-        sid: ApopheniaProcessor(_fresh_runtime(), config) for sid in streams
+    backend = StandaloneBackend(config)
+    sessions = {
+        sid: open_session(sid, backend=backend, runtime=_fresh_runtime())
+        for sid in streams
     }
     start = time.process_time()
     for sid, iteration, task in _interleaved(streams):
-        processor = processors[sid]
-        processor.set_iteration(iteration)
-        processor.execute_task(task)
-    for processor in processors.values():
-        processor.flush()
+        session = sessions[sid]
+        session.set_iteration(iteration)
+        session.submit(task)
+    for session in sessions.values():
+        session.flush()
     seconds = time.process_time() - start
     outcomes = {
-        sid: TenantOutcome(
-            sid,
-            processor.stats.as_tuple(),
-            processor.decision_trace(),
-            len(streams[sid]),
-            processor.executor.memo_hits,
-        )
-        for sid, processor in processors.items()
+        sid: _outcome(session, len(streams[sid]))
+        for sid, session in sessions.items()
     }
     return outcomes, seconds
 
@@ -211,26 +235,22 @@ def run_service(streams, config=TENANT_CONFIG):
     service_config = config.with_overrides(max_sessions=max(1, len(streams)))
     service = ApopheniaService(service_config)
     # Session admission stays outside the timed region, mirroring the
-    # untimed processor construction in run_isolated: both measurements
+    # untimed backend construction in run_isolated: both measurements
     # time only the serving path.
-    for sid in streams:
-        service.open_session(sid)
+    sessions = {
+        sid: open_session(sid, backend=service) for sid in streams
+    }
     start = time.process_time()
     for sid, iteration, task in _interleaved(streams):
-        service.set_iteration(sid, iteration)
-        service.execute_task(sid, task)
+        session = sessions[sid]
+        session.set_iteration(iteration)
+        session.submit(task)
     service.flush_all()
     seconds = time.process_time() - start
-    outcomes = {}
-    for sid in streams:
-        session = service.session(sid)
-        outcomes[sid] = TenantOutcome(
-            sid,
-            session.stats.as_tuple(),
-            session.decision_trace(),
-            len(streams[sid]),
-            session.lane.memo_hits,
-        )
+    outcomes = {
+        sid: _outcome(session, len(streams[sid]))
+        for sid, session in sessions.items()
+    }
     return outcomes, seconds, service
 
 

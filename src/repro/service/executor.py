@@ -81,6 +81,10 @@ class SessionLane:
         self.jobs_submitted = 0
         self.tokens_analyzed = 0
         self.memo_hits = 0
+        #: Queued-but-unmined jobs still charged to this lane.
+        self.outstanding = 0
+        #: Times a submit hit the per-lane quota and drained its own work.
+        self.quota_stalls = 0
 
     def submit(self, tokens, min_length, now_op):
         """Queue a mining job; returns its :class:`AnalysisJob`.
@@ -139,13 +143,30 @@ class SharedJobExecutor:
         Budget of queued-but-unmined jobs across all lanes. A submit that
         would exceed it forces the scheduler to drain the excess first
         (backpressure), bounding the memory the queues can hold.
+    memo_token_budget:
+        Optional size-aware admission budget for the shared memo, in
+        tokens (:class:`MiningMemo`). ``None`` keeps entry-count LRU.
+    lane_outstanding_quota:
+        Per-lane bound on queued-but-unmined jobs. The global budget
+        alone lets one runaway tenant fill the whole queue between pumps
+        and ride every other tenant's backpressure drains; with a quota,
+        a submit over the lane's own bound drains *that lane's* oldest
+        work first, so the cost of a tenant's burst lands on the tenant.
+        ``None`` disables the quota. Decision-neutral either way: drains
+        only change when mining work runs, never its results or the
+        op-clock completion times.
     """
 
     def __init__(self, repeats_algorithm=find_repeats, memo_capacity=256,
-                 max_outstanding_jobs=64):
+                 max_outstanding_jobs=64, memo_token_budget=None,
+                 lane_outstanding_quota=None):
         self.repeats_algorithm = repeats_algorithm
-        self.memo = MiningMemo(memo_capacity) if memo_capacity else None
+        self.memo = (
+            MiningMemo(memo_capacity, token_budget=memo_token_budget)
+            if memo_capacity else None
+        )
         self.max_outstanding_jobs = max_outstanding_jobs
+        self.lane_outstanding_quota = lane_outstanding_quota
         self.lanes = {}
         self.outstanding = 0
         self._serve_counter = itertools.count()
@@ -154,6 +175,7 @@ class SharedJobExecutor:
         self.mines_executed = 0
         self.tokens_mined = 0
         self.backpressure_drains = 0
+        self.lane_quota_drains = 0
         self.forced_out_of_order = 0
 
     # ------------------------------------------------------------------
@@ -189,6 +211,7 @@ class SharedJobExecutor:
             if pending.counted:
                 pending.counted = False
                 self.outstanding -= 1
+        lane.outstanding = 0
         lane.submit_queue.clear()
         return lane
 
@@ -228,12 +251,32 @@ class SharedJobExecutor:
         return best
 
     def _enqueue(self, pending):
-        pending.lane.submit_queue.append(pending)
+        lane = pending.lane
+        lane.submit_queue.append(pending)
         pending.counted = True
+        lane.outstanding += 1
         self.outstanding += 1
+        quota = self.lane_outstanding_quota
+        if quota is not None and lane.outstanding > quota:
+            # The runaway lane pays for its own burst: drain its oldest
+            # queued work, not the fair-share schedule.
+            lane.quota_stalls += 1
+            self.lane_quota_drains += 1
+            self._drain_lane(lane, lane.outstanding - quota)
         if self.outstanding > self.max_outstanding_jobs:
             self.backpressure_drains += 1
             self.pump(self.outstanding - self.max_outstanding_jobs)
+
+    def _drain_lane(self, lane, count):
+        """Materialize up to ``count`` of ``lane``'s own queued jobs."""
+        ran = 0
+        while ran < count and lane.submit_queue:
+            pending = lane.submit_queue.popleft()
+            if pending.job.materialized:
+                continue  # forced out of order via job.result
+            self._run(pending)
+            ran += 1
+        return ran
 
     def _force(self, pending):
         """Materialize a job ahead of the scheduler (``job.result`` read).
@@ -249,6 +292,7 @@ class SharedJobExecutor:
     def _run(self, pending):
         if pending.counted:
             pending.counted = False
+            pending.lane.outstanding -= 1
             self.outstanding -= 1
         if self.memo is None:
             result, hit = self.repeats_algorithm(
@@ -286,6 +330,10 @@ class SharedJobExecutor:
             "tokens_mined": self.tokens_mined,
             "memo_hits": self.memo.hits if self.memo is not None else 0,
             "memo_hit_rate": self.memo_hit_rate,
+            "memo_tokens_held": (
+                self.memo.tokens_held if self.memo is not None else 0
+            ),
             "backpressure_drains": self.backpressure_drains,
+            "lane_quota_drains": self.lane_quota_drains,
             "forced_out_of_order": self.forced_out_of_order,
         }

@@ -107,6 +107,9 @@ class ApopheniaService:
         session is opened without an application-provided runtime.
     """
 
+    #: :class:`repro.api.TracingBackend` discriminator.
+    backend_kind = "service"
+
     def __init__(self, config=None, runtime_factory=None):
         self.config = config or ApopheniaConfig()
         self.executor = SharedJobExecutor(
@@ -115,6 +118,8 @@ class ApopheniaService:
             ),
             memo_capacity=self.config.shared_memo_capacity,
             max_outstanding_jobs=self.config.max_outstanding_jobs,
+            memo_token_budget=self.config.shared_memo_token_budget,
+            lane_outstanding_quota=self.config.lane_outstanding_quota,
         )
         # Explicit None check: an empty factory is falsy (it has __len__).
         self.runtime_factory = (
@@ -233,3 +238,8 @@ class ApopheniaService:
             ),
         )
         return stats
+
+    @property
+    def backend_stats(self):
+        """:class:`repro.api.TracingBackend` spelling of :attr:`stats`."""
+        return self.stats

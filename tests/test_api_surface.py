@@ -1,0 +1,72 @@
+"""Public-API snapshot: the names exported by ``repro`` and ``repro.api``.
+
+The client API is the repo's compatibility contract (ISSUE 3): backends,
+profiles, and internals may churn freely, but these two ``__all__``
+surfaces only change deliberately. If a PR legitimately adds or removes
+a public name, update the snapshot here *in the same PR* and say so in
+CHANGES.md -- the diff of this file is the API review.
+
+Wired into ``make verify`` via the ``api`` marker step in
+``scripts/verify.sh``.
+"""
+
+import pytest
+
+import repro
+import repro.api
+
+pytestmark = pytest.mark.api
+
+REPRO_ALL = [
+    "ApopheniaConfig",
+    "ApopheniaProcessor",
+    "ApopheniaService",
+    "EOS",
+    "MachineConfig",
+    "PERLMUTTER",
+    "Runtime",
+    "SessionStats",
+    "__version__",
+    "build_config",
+    "find_repeats",
+    "open_session",
+]
+
+REPRO_API_ALL = [
+    "ApopheniaConfig",
+    "ApopheniaService",
+    "DEFAULT_PROFILE",
+    "ENV_PREFIX",
+    "PROFILES",
+    "PROFILE_ENV_VAR",
+    "Session",
+    "SessionSnapshot",
+    "SessionStats",
+    "StandaloneBackend",
+    "TRACING_BACKENDS",
+    "TracingBackend",
+    "build_config",
+    "collect_session_stats",
+    "env_overrides",
+    "open_session",
+    "profile_names",
+    "registries",
+    "validate_config",
+]
+
+
+def test_repro_public_surface_is_frozen():
+    assert sorted(repro.__all__) == REPRO_ALL
+
+
+def test_repro_api_public_surface_is_frozen():
+    assert sorted(repro.api.__all__) == REPRO_API_ALL
+
+
+@pytest.mark.parametrize("module,names", [
+    (repro, REPRO_ALL),
+    (repro.api, REPRO_API_ALL),
+])
+def test_every_exported_name_resolves(module, names):
+    for name in names:
+        assert getattr(module, name, None) is not None, name
