@@ -1,6 +1,6 @@
 # Convenience targets; see ROADMAP.md for the canonical commands.
 
-.PHONY: verify verify-full test bench service-bench api-check
+.PHONY: verify verify-full test bench service-bench replayer-bench api-check
 
 ## Tier-1 tests plus the perf_smoke guards (the pre-commit check).
 verify:
@@ -19,6 +19,10 @@ bench:
 ## The multi-tenant service benchmark on its own.
 service-bench:
 	PYTHONPATH=src python -m pytest -q benchmarks/test_perf_service.py -m service
+
+## The replayer-layer (match engine + hysteresis) benchmarks on their own.
+replayer-bench:
+	PYTHONPATH=src python -m pytest -q benchmarks/test_perf_replayer.py
 
 ## Public-API snapshot + client-facade suites on their own.
 api-check:

@@ -1,0 +1,170 @@
+"""Replayer-layer throughput per match engine (perf trajectory anchor).
+
+Not a paper figure: this suite tracks the repo's serving hot path after
+the replay-engine refactor. It drives the :class:`TraceReplayer` --
+candidates pre-ingested, no mining, no runtime -- over the pointer-heavy
+workloads of :mod:`repro.experiments.replayer_perf`, records tokens/sec
+per engine to ``benchmarks/results/perf_replayer.txt``, and enforces
+this PR's acceptance floor: the default ``automaton`` engine must serve
+the periodic 8-candidate stream at >= 1.3x the seed ``scan`` matcher.
+Future perf PRs extend the trajectory by beating the numbers recorded
+here.
+
+A ``perf_smoke``-marked quick check (small stream, generous floor) runs
+in tier-1 verify so an engine regression fails fast; the hysteresis
+churn regression (CFD/HTR open item) lives here too, at reduced scale.
+"""
+
+import pytest
+
+from repro.apps.base import build_app
+from repro.core.processor import ApopheniaConfig
+from repro.experiments.replayer_perf import (
+    measure_replayer_throughput,
+    periodic_stream,
+    workloads,
+)
+from repro.experiments.report import format_table
+
+#: The acceptance floor on the periodic 8-candidate stream.
+SPEEDUP_FLOOR = 1.3
+
+
+@pytest.mark.benchmark(group="perf_replayer", min_rounds=1, max_time=5)
+def test_perf_replayer_engines(benchmark, save):
+    suite = benchmark.pedantic(workloads, rounds=1, iterations=1)
+
+    rows = []
+    speedups = {}
+    for name, (stream, repeats) in suite.items():
+        results = measure_replayer_throughput(stream, repeats)
+        seed = results["scan"].tokens_per_sec
+        for engine, m in sorted(
+            results.items(), key=lambda kv: -kv[1].tokens_per_sec
+        ):
+            speedup = m.tokens_per_sec / seed if seed else float("inf")
+            speedups[(name, engine)] = speedup
+            rows.append(
+                [
+                    name,
+                    engine,
+                    f"{m.seconds * 1e3:.2f} ms",
+                    f"{m.tokens_per_sec:,.0f}",
+                    f"{speedup:.2f}x",
+                    m.stats.active_pointer_peak,
+                    m.stats.pointer_collapses,
+                ]
+            )
+    save(
+        "perf_replayer",
+        format_table(
+            ["workload", "engine", "time", "tokens/sec", "vs scan",
+             "peak ptrs", "collapses"],
+            rows,
+            title=(
+                "perf_replayer: TraceReplayer throughput per match engine "
+                "(20k tokens, candidates pre-ingested)"
+            ),
+        ),
+    )
+    benchmark.extra_info["speedups"] = {
+        f"{w}/{e}": round(s, 2) for (w, e), s in speedups.items()
+    }
+
+    # The acceptance floor: the deduplicated engine clears 1.3x on the
+    # periodic 8-candidate stream, and wins big on the deep-ladder app
+    # streams (decision parity is asserted inside the measurement).
+    assert speedups[("periodic-8", "automaton")] >= SPEEDUP_FLOOR
+    assert speedups[("jacobi", "automaton")] >= 2.0
+    assert speedups[("stencil", "automaton")] >= 1.3
+
+
+@pytest.mark.perf_smoke
+def test_perf_replayer_smoke():
+    """Fast engine-regression guard for tier-1 verify.
+
+    A 6k-token periodic stream is enough to expose an automaton-engine
+    regression: the seed scan matcher walks a ~40-deep pointer ladder
+    per token here, so the deduplicated engine must stay comfortably
+    ahead (the full suite measures the real floor on 20k tokens).
+    """
+    stream, repeats = periodic_stream(num_tokens=6000)
+    results = measure_replayer_throughput(stream, repeats)
+    scan = results["scan"]
+    automaton = results["automaton"]
+    assert automaton.stats.pointer_collapses > 0  # dedup actually engaged
+    assert automaton.tokens_per_sec >= 1.15 * scan.tokens_per_sec, (
+        f"automaton {automaton.tokens_per_sec:,.0f} tok/s < 1.15x scan "
+        f"{scan.tokens_per_sec:,.0f} tok/s"
+    )
+
+
+@pytest.mark.benchmark(group="perf_replayer", min_rounds=1, max_time=5)
+def test_hysteresis_closes_reduced_scale_churn(benchmark, save):
+    """The scoring-churn open item, as a regression test.
+
+    HTR at reduced scale with a *natural* (not power-of-two-pinned)
+    buffer is the configuration where full-buffer candidates whose
+    length misaligns with the stream period displace the profitably
+    replaying steady state. With hysteresis off the tail replay
+    fraction stays depressed; with the reduced-scale hysteresis on, the
+    replayer settles on period-aligned traces and the fraction
+    converges at least as high as the old pinned configuration reached.
+    """
+
+    def run(hysteresis):
+        config = ApopheniaConfig(
+            batchsize=500,  # natural 0.1-scale buffer: ratio 20, not 2^k
+            multi_scale_factor=25,
+            job_base_latency_ops=5,
+            initial_ingest_margin_ops=10,
+            hysteresis=hysteresis,
+        )
+        app = build_app("htr", mode="auto", task_scale=0.1,
+                        apophenia=config, keep_task_log=False)
+        processor = app.processor
+        fractions = []
+        last = (0, 0)
+        for index in range(1200):
+            processor.set_iteration(index)
+            app.iteration(index)
+            if (index + 1) % 50 == 0:
+                stats = processor.replayer.stats
+                seen, traced = stats.tasks_seen, stats.tasks_traced
+                fractions.append(
+                    (traced - last[1]) / max(1, seen - last[0])
+                )
+                last = (seen, traced)
+        processor.flush()
+        tail = fractions[len(fractions) // 2:]
+        return sum(tail) / len(tail), processor.replayer.stats
+
+    (off_tail, off_stats), (on_tail, on_stats) = benchmark.pedantic(
+        lambda: (run(0.0), run(2.0)), rounds=1, iterations=1
+    )
+
+    save(
+        "perf_replayer_churn",
+        format_table(
+            ["hysteresis", "tail replay fraction", "suppressed switches"],
+            [
+                ["off (0.0)", f"{off_tail:.3f}", off_stats.hysteresis_suppressed],
+                ["on  (2.0)", f"{on_tail:.3f}", on_stats.hysteresis_suppressed],
+            ],
+            title=(
+                "perf_replayer_churn: HTR task_scale=0.1, natural "
+                "batchsize=500 (ratio 20, unpinned)"
+            ),
+        ),
+    )
+    benchmark.extra_info["tail_replay_fraction"] = {
+        "off": round(off_tail, 3), "on": round(on_tail, 3)
+    }
+
+    # Hysteresis must actually intervene, and must lift the depressed
+    # steady state meaningfully toward the ~0.95 the old power-of-two
+    # pinned buffer achieved.
+    assert on_stats.hysteresis_suppressed > 0
+    assert off_tail < 0.92  # the pathology is present with hysteresis off
+    assert on_tail >= off_tail + 0.02
+    assert on_tail >= 0.92

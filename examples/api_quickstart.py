@@ -63,6 +63,14 @@ def main():
         print(f"  {label:10s} replay fraction: {stats.replay_fraction:6.1%}  "
               f"traces fired: {stats.traces_fired:3d}  "
               f"memo hit rate: {stats.memo_hit_rate:6.1%}")
+        # Serving-path gauges from the replay-engine refactor: how deep
+        # the live pointer set got, how many per-token pointer walks the
+        # deduplicating match engine collapsed away, and how often
+        # scoring hysteresis kept a proven trace from being churned
+        # (0 here -- hysteresis is off under default knobs).
+        print(f"  {'':10s} pointer peak: {stats.active_pointer_peak:5d}  "
+              f"walks collapsed: {stats.pointer_collapses:6d}  "
+              f"hysteresis suppressions: {stats.hysteresis_suppressed}")
 
     # The deployment-agnosticism contract: identical decisions.
     assert solo_snapshot.decisions == service_snapshot.decisions, (

@@ -19,6 +19,9 @@ python -m pytest -x -q tests
 echo "== public API surface"
 python -m pytest -x -q -m api tests/test_api_surface.py
 
+# Fast floors over the two perf-tracked hot paths: suffix-array backend
+# equivalence (tests/) and the replayer match-engine speedup
+# (benchmarks/test_perf_replayer.py::test_perf_replayer_smoke).
 echo "== perf_smoke guards"
 python -m pytest -x -q -m perf_smoke
 

@@ -100,6 +100,9 @@ class StandaloneBackend:
         # aggregates survive release_lane).
         self._retired_jobs = 0
         self._retired_memo_hits = 0
+        self._retired_pointer_peak = 0
+        self._retired_collapses = 0
+        self._retired_suppressed = 0
 
     def open_session(self, session_id, runtime=None, config=None, node_id=0,
                      priority=0):
@@ -112,6 +115,8 @@ class StandaloneBackend:
         processor = ApopheniaProcessor(
             runtime, config or self.config, node_id=node_id
         )
+        if owns_runtime:
+            self.runtime_factory.bind_processor(session_id, processor)
         processor.open_session(session_id)
         self.sessions[session_id] = (processor, owns_runtime)
         self.sessions_opened += 1
@@ -122,6 +127,12 @@ class StandaloneBackend:
         processor.close_session(session_id)
         self._retired_jobs += processor.executor.jobs_submitted
         self._retired_memo_hits += processor.executor.memo_hits
+        replayer_stats = processor.replayer.stats
+        self._retired_pointer_peak = max(
+            self._retired_pointer_peak, replayer_stats.active_pointer_peak
+        )
+        self._retired_collapses += replayer_stats.pointer_collapses
+        self._retired_suppressed += replayer_stats.hysteresis_suppressed
         if owns_runtime:
             self.runtime_factory.release(session_id)
         return processor
@@ -143,12 +154,19 @@ class StandaloneBackend:
             "sessions_open": len(self.sessions),
             "sessions_opened": self.sessions_opened,
             "sessions_evicted": 0,
+            "active_pointer_peak": self._retired_pointer_peak,
+            "pointer_collapses": self._retired_collapses,
+            "hysteresis_suppressed": self._retired_suppressed,
         }
         for processor, _ in self.sessions.values():
             stats = processor.backend_stats
             for key in ("jobs_materialized", "memo_hits", "memo_tokens_held",
-                        "outstanding"):
+                        "outstanding", "pointer_collapses",
+                        "hysteresis_suppressed"):
                 totals[key] += stats[key]
+            totals["active_pointer_peak"] = max(
+                totals["active_pointer_peak"], stats["active_pointer_peak"]
+            )
         totals["memo_hit_rate"] = (
             totals["memo_hits"] / totals["jobs_materialized"]
             if totals["jobs_materialized"] else 0.0

@@ -15,8 +15,8 @@ service :class:`~repro.service.service.SessionHandle`).
 from dataclasses import dataclass
 from typing import Optional
 
-#: Field order of the replayer-counter slice, matching
-#: :meth:`repro.core.replayer.ReplayerStats.as_tuple`.
+#: Field order of the decision-determined replayer-counter slice,
+#: matching :meth:`repro.core.replayer.ReplayerStats.decision_tuple`.
 _REPLAYER_FIELDS = (
     "tasks_seen",
     "tasks_flushed",
@@ -24,6 +24,15 @@ _REPLAYER_FIELDS = (
     "traces_fired",
     "candidates_ingested",
     "deferrals",
+)
+
+#: Serving-path gauges carried on the same ``ReplayerStats`` object but
+#: *not* decision-determined: they describe how the match engine and the
+#: scoring hysteresis did the work, and may differ between engines.
+_SERVING_FIELDS = (
+    "active_pointer_peak",
+    "pointer_collapses",
+    "hysteresis_suppressed",
 )
 
 
@@ -48,6 +57,13 @@ class SessionStats:
     traces_fired: int
     candidates_ingested: int
     deferrals: int
+    # Serving-path gauges (match engine + decision policy): how much
+    # pointer pressure the stream generated, how much of it the engine
+    # deduplicated away, and how often scoring hysteresis kept the
+    # policy from chasing an unrealized candidate.
+    active_pointer_peak: int
+    pointer_collapses: int
+    hysteresis_suppressed: int
     # Executor-side serving counters.
     jobs_submitted: int
     tokens_analyzed: int
@@ -69,9 +85,13 @@ class SessionStats:
 
     def replayer_counters(self):
         """The decision-determined slice, in
-        :meth:`~repro.core.replayer.ReplayerStats.as_tuple` order -- what
-        the decision-neutrality property tests compare."""
+        :meth:`~repro.core.replayer.ReplayerStats.decision_tuple` order --
+        what the decision-neutrality property tests compare."""
         return tuple(getattr(self, name) for name in _REPLAYER_FIELDS)
+
+    def serving_counters(self):
+        """The engine/policy gauges, in ``ReplayerStats`` slot order."""
+        return tuple(getattr(self, name) for name in _SERVING_FIELDS)
 
 
 def collect_session_stats(handle, evictions=None, backend=None):
@@ -104,6 +124,9 @@ def collect_session_stats(handle, evictions=None, backend=None):
         traces_fired=replayer.traces_fired,
         candidates_ingested=replayer.candidates_ingested,
         deferrals=replayer.deferrals,
+        active_pointer_peak=replayer.active_pointer_peak,
+        pointer_collapses=replayer.pointer_collapses,
+        hysteresis_suppressed=replayer.hysteresis_suppressed,
         jobs_submitted=executor.jobs_submitted,
         tokens_analyzed=executor.tokens_analyzed,
         memo_hits=executor.memo_hits,

@@ -49,25 +49,28 @@ class AppConfig:
         if apophenia is None:
             apophenia = ApopheniaConfig()
             if task_scale != 1.0:
-                # The history buffer and sampling granularity are sized in
-                # tasks; scale them with the stream so trace discovery
-                # behaves identically at reduced task counts. The buffer
-                # is pinned to the largest power-of-two multiple of the
-                # scaled factor: the ruler schedule then has exactly the
-                # slice sizes the experiment calibrations assume, and the
-                # full buffer is reached every period. (Non-power-of-two
-                # ratios extend the period to reach the full buffer --
-                # see MultiScaleSampler -- which on these reduced streams
-                # surfaces very long candidates whose scoring churn is an
-                # open item; see ROADMAP.)
-                factor = max(
-                    10, int(apophenia.multi_scale_factor * task_scale)
-                )
-                batch = max(50, int(apophenia.batchsize * task_scale))
-                ratio = max(1, batch // factor)
+                # The history buffer and sampling granularity are sized
+                # in tasks; scale both proportionally with the stream so
+                # trace discovery behaves like the full-scale run (the
+                # factor must track the apps' repeating-unit lengths, so
+                # it is never rounded). The buffer used to be pinned
+                # down to a power-of-two factor multiple because the
+                # extended ruler periods (see MultiScaleSampler) surface
+                # full-buffer candidates whose misaligned commits
+                # churned the scoring; scoring hysteresis now charges
+                # those candidates their realized misalignment record
+                # instead, so the buffer keeps its natural scaled size
+                # (the experiment windows are calibrated to the
+                # correspondingly longer discovery timeline).
                 apophenia = apophenia.with_overrides(
-                    batchsize=factor * (1 << (ratio.bit_length() - 1)),
-                    multi_scale_factor=factor,
+                    batchsize=max(
+                        2 * apophenia.min_trace_length,
+                        int(apophenia.batchsize * task_scale),
+                    ),
+                    multi_scale_factor=max(
+                        10, int(apophenia.multi_scale_factor * task_scale)
+                    ),
+                    hysteresis=2.0,
                     job_base_latency_ops=max(
                         5, int(apophenia.job_base_latency_ops * task_scale)
                     ),

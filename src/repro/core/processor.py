@@ -110,6 +110,18 @@ class ApopheniaConfig:
         :class:`~repro.core.jobs.JobExecutor` (0 disables the memo).
     count_cap / decay_rate / replay_bonus:
         Scoring policy parameters (Section 4.3).
+    hysteresis:
+        Strength of the realized-replay-share weighting in trace
+        scoring (see :class:`~repro.core.scoring.ScoringPolicy`); 0
+        (the default) reproduces the paper's scoring exactly, positive
+        values stop misaligned full-buffer candidates from churning a
+        profitably replaying steady state.
+    match_engine:
+        Active-pointer match engine for the replayer's serving path:
+        ``"automaton"`` (deduplicated suffix-automaton pointer set, the
+        default) or ``"scan"`` (the seed's explicit pointer scan, kept
+        as the reference baseline). Both produce byte-identical
+        decision streams; the choice only affects serving cost.
     job_base_latency_ops / job_per_token_latency_ops:
         Completion model of asynchronous mining jobs, in operations.
     initial_ingest_margin_ops:
@@ -143,6 +155,8 @@ class ApopheniaConfig:
     count_cap: int = 16
     decay_rate: float = 1e-4
     replay_bonus: float = 1.1
+    hysteresis: float = 0.0
+    match_engine: Optional[str] = None
     job_base_latency_ops: int = 50
     job_per_token_latency_ops: float = 0.05
     initial_ingest_margin_ops: int = 128
@@ -203,6 +217,18 @@ class ApopheniaConfig:
                 f"unknown repeats algorithm {self.repeats_algorithm!r}; "
                 f"known: {list(REPEATS_ALGORITHMS)}"
             )
+        if self.match_engine is not None and not callable(self.match_engine):
+            from repro.core.matching import MATCH_ENGINES
+
+            if self.match_engine not in MATCH_ENGINES:
+                raise ValueError(
+                    f"unknown match engine {self.match_engine!r}; "
+                    f"known: {MATCH_ENGINES.names()}"
+                )
+        if self.hysteresis < 0:
+            raise ValueError(
+                f"hysteresis must be >= 0, got {self.hysteresis}"
+            )
         for name in ("mining_memo_capacity", "shared_memo_capacity",
                      "max_outstanding_jobs", "job_base_latency_ops",
                      "initial_ingest_margin_ops"):
@@ -217,10 +243,16 @@ class ApopheniaConfig:
         return self
 
     def scoring_policy(self):
+        # The hysteresis gate tracks the buffer: the churn pathology is
+        # full-buffer candidates (the multi-scale schedule surfaces
+        # repeats up to batchsize/2 tokens), so only candidates within
+        # reach of that scale ever pay the realized-share discount.
         return ScoringPolicy(
             count_cap=self.count_cap,
             decay_rate=self.decay_rate,
             replay_bonus=self.replay_bonus,
+            hysteresis=self.hysteresis,
+            hysteresis_min_length=self.batchsize // 8,
         )
 
 
@@ -282,6 +314,7 @@ class ApopheniaProcessor:
             scoring=self.config.scoring_policy(),
             min_trace_length=self.config.min_trace_length,
             max_trace_length=self.config.max_trace_length,
+            match_engine=self.config.match_engine,
         )
         self.trace_log = []  # (trace_id, length) of every issued trace
 
@@ -382,6 +415,7 @@ class ApopheniaProcessor:
         """Executor-side counters, shaped like the service's."""
         executor = self.executor
         memo = getattr(executor, "memo", None)
+        replayer_stats = self.replayer.stats
         return {
             "lanes": 1,
             "outstanding": getattr(executor, "outstanding", 0),
@@ -394,6 +428,9 @@ class ApopheniaProcessor:
             "memo_tokens_held": memo.tokens_held if memo is not None else 0,
             "sessions_open": 1 if self.session_id is not None else 0,
             "sessions_evicted": 0,
+            "active_pointer_peak": replayer_stats.active_pointer_peak,
+            "pointer_collapses": replayer_stats.pointer_collapses,
+            "hysteresis_suppressed": replayer_stats.hysteresis_suppressed,
         }
 
     # ------------------------------------------------------------------

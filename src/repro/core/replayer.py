@@ -5,6 +5,24 @@ for every task, whether to forward it untraced, hold it as part of a
 potential trace match, or issue a completed match to the runtime wrapped
 in ``tbegin``/``tend``.
 
+Since the serving-path refactor the replayer is *stream bookkeeping* over
+two separable layers:
+
+* the **match engine** (:mod:`repro.core.matching`) owns the candidate
+  trie and the active pointer set -- by default the deduplicating
+  automaton engine, with the seed's explicit pointer scan available as
+  the ``scan`` reference;
+* the **decision policy**
+  (:class:`~repro.core.scoring.ReplayDecisionPolicy`) owns
+  SelectReplayTrace: choosing among completions, defending the deferred
+  match, deciding whether a deferral is still worth waiting on, and the
+  scoring-hysteresis churn fix.
+
+What remains here is the pending buffer, the deferral slot, commit /
+flush mechanics, chunking, and candidate ingestion bookkeeping (the
+rotation groups that let phase-shifted rediscoveries of one cycle
+reinforce a shared occurrence count).
+
 Design constraints from the paper:
 
 * **No speculation** (Section 5.2): a trace is only issued once *all* of
@@ -23,13 +41,22 @@ Design constraints from the paper:
 
 from collections import deque
 
+from repro.core.matching import get_match_engine
 from repro.core.repeats import canonical_rotation
-from repro.core.scoring import ScoringPolicy
-from repro.core.trie import CandidateTrie
+from repro.core.scoring import ReplayDecisionPolicy, ScoringPolicy
 
 
 class ReplayerStats:
-    """Counters describing the replayer's behaviour."""
+    """Counters describing the replayer's behaviour.
+
+    The first six slots are *decision-determined*: two runs of the same
+    stream that made the same tbegin/tend decisions have identical
+    values whatever engine served them (what
+    :meth:`decision_tuple` exposes and the decision-neutrality tests
+    compare). The remaining slots describe *how* the serving path did
+    the work -- pointer-set pressure and hysteresis interventions -- and
+    may legitimately differ between match engines.
+    """
 
     __slots__ = (
         "tasks_seen",
@@ -38,20 +65,27 @@ class ReplayerStats:
         "traces_fired",
         "candidates_ingested",
         "deferrals",
+        "active_pointer_peak",
+        "pointer_collapses",
+        "hysteresis_suppressed",
     )
 
+    #: The decision-determined prefix of ``__slots__``.
+    DECISION_FIELDS = __slots__[:6]
+
     def __init__(self):
-        self.tasks_seen = 0
-        self.tasks_flushed = 0
-        self.tasks_traced = 0
-        self.traces_fired = 0
-        self.candidates_ingested = 0
-        self.deferrals = 0
+        for name in self.__slots__:
+            setattr(self, name, 0)
 
     def as_tuple(self):
-        """All counters, in slot order -- the decision-neutrality tests
-        compare a session's stats against its standalone run with this."""
+        """All counters, in slot order."""
         return tuple(getattr(self, name) for name in self.__slots__)
+
+    def decision_tuple(self):
+        """The decision-determined counters only, in slot order -- the
+        decision-neutrality tests compare runs across deployments (and
+        match engines) with this."""
+        return tuple(getattr(self, name) for name in self.DECISION_FIELDS)
 
     def __eq__(self, other):
         if not isinstance(other, ReplayerStats):
@@ -76,12 +110,20 @@ class TraceReplayer:
         Callback ``(candidate, chunk_index, tasks) -> None``: issue tasks
         as one trace (the processor wraps them in ``tbegin``/``tend``).
     scoring:
-        :class:`~repro.core.scoring.ScoringPolicy`.
+        :class:`~repro.core.scoring.ScoringPolicy`; shorthand for
+        passing ``policy=ReplayDecisionPolicy(scoring)``.
     min_trace_length / max_trace_length:
         Candidate length bounds. Long matches are split into chunks of at
         most ``max_trace_length`` (the paper's FlexFlow auto-200
         configuration); leftover chunks shorter than ``min_trace_length``
         are flushed untraced.
+    match_engine:
+        A :data:`~repro.core.matching.MATCH_ENGINES` name (or factory,
+        or prebuilt engine instance); ``None`` selects the default
+        automaton engine.
+    policy:
+        A :class:`~repro.core.scoring.ReplayDecisionPolicy`; overrides
+        ``scoring`` when given.
     """
 
     def __init__(
@@ -91,17 +133,25 @@ class TraceReplayer:
         scoring=None,
         min_trace_length=5,
         max_trace_length=None,
+        match_engine=None,
+        policy=None,
     ):
         self.on_flush = on_flush
         self.on_trace = on_trace
-        self.scoring = scoring or ScoringPolicy()
+        self.policy = (
+            policy if policy is not None
+            else ReplayDecisionPolicy(scoring or ScoringPolicy())
+        )
         self.min_trace_length = min_trace_length
         self.max_trace_length = max_trace_length
-        self.trie = CandidateTrie()
+        if hasattr(match_engine, "advance"):
+            self.engine = match_engine  # a prebuilt engine instance
+        else:
+            self.engine = get_match_engine(match_engine)
         self.pending = deque()  # (index, task, token), stream order
         self.deferred = None  # CompletedMatch being extended, or None
         self.stream_index = 0
-        self.stats = ReplayerStats()
+        self._stats = ReplayerStats()
         # (length, canonical rotation) -> [candidates, total count]:
         # phase-shifted rediscoveries of one cycle reinforce a shared
         # occurrence count, and at most ``max_phases_per_cycle`` rotations
@@ -111,6 +161,33 @@ class TraceReplayer:
         # endlessly (the Section 3 memoization-cost failure mode).
         self._by_rotation = {}
         self.max_phases_per_cycle = 3
+        # Realized-replay attribution (scoring hysteresis): the last
+        # candidate committed, and the tasks flushed untraced since. A
+        # commit that leaves the stream phase-shifted strands the tokens
+        # that follow it, so the *previous* choice is what a flush
+        # indicts -- see ReplayDecisionPolicy.record_fire.
+        self._last_fired = None
+        self._flushed_since_fire = 0
+
+    @property
+    def scoring(self):
+        """The policy's :class:`~repro.core.scoring.ScoringPolicy`."""
+        return self.policy.scoring
+
+    @property
+    def trie(self):
+        """The engine's :class:`~repro.core.trie.CandidateTrie`."""
+        return self.engine.trie
+
+    @property
+    def stats(self):
+        """Counters, with the engine/policy-side gauges synced in."""
+        stats = self._stats
+        engine = self.engine
+        stats.active_pointer_peak = engine.active_pointer_peak
+        stats.pointer_collapses = engine.pointer_collapses
+        stats.hysteresis_suppressed = self.policy.hysteresis_suppressed
+        return stats
 
     # ------------------------------------------------------------------
     # Candidate ingestion (IngestCandidates of Algorithm 1)
@@ -124,6 +201,7 @@ class TraceReplayer:
         accumulate enough score to displace them -- the paper's "switch
         from a trace that appeared early ... to a better trace that
         appears later"."""
+        engine = self.engine
         for repeat in repeats:
             if repeat.length < self.min_trace_length:
                 continue
@@ -134,15 +212,37 @@ class TraceReplayer:
                 self._by_rotation[key] = entry
             members, _total = entry
             entry[1] += repeat.count
-            existing = self.trie._by_tokens.get(tuple(repeat.tokens))
+            existing = engine.find(repeat.tokens)
             if existing is None and len(members) < self.max_phases_per_cycle:
-                existing = self.trie.insert(repeat.tokens)
+                existing = engine.insert(repeat.tokens)
                 members.append(existing)
-                self.stats.candidates_ingested += 1
+                self._stats.candidates_ingested += 1
             # All phases of a cycle share the cycle's appearance count.
             for member in members:
                 member.occurrences = max(member.occurrences, entry[1])
                 member.last_seen_at = self.stream_index
+
+    def remove_candidate(self, candidate):
+        """Evict a candidate from the trie *and* its rotation group.
+
+        Without the group cleanup an evicted candidate lives on as a
+        stale rotation-group member: re-discoveries of the cycle keep
+        resurrecting its occurrence count, and -- because the group still
+        looks fully populated -- the evicted trace's tokens can never be
+        re-admitted to the trie. Returns ``True`` when the candidate was
+        actually removed.
+        """
+        if not self.engine.remove(candidate):
+            return False
+        key = (candidate.length, canonical_rotation(candidate.tokens))
+        entry = self._by_rotation.get(key)
+        if entry is not None:
+            members = entry[0]
+            if candidate in members:
+                members.remove(candidate)
+            if not members:
+                del self._by_rotation[key]
+        return True
 
     # ------------------------------------------------------------------
     # Stream processing
@@ -151,7 +251,7 @@ class TraceReplayer:
         """Consume one task and its hash token."""
         index = self.stream_index
         self.stream_index += 1
-        self.stats.tasks_seen += 1
+        self._stats.tasks_seen += 1
         self.pending.append((index, task, token))
         self._advance(token, index)
 
@@ -164,13 +264,13 @@ class TraceReplayer:
             self._fire(match)
         if self.pending:
             self._flush_upto(self.stream_index)
-        self.trie.reset_pointers()
+        self.engine.reset()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _advance(self, token, index):
-        completed = self.trie.advance(token, index)
+        completed = self.engine.advance(token, index)
         for match in completed:
             candidate = match.candidate
             candidate.occurrences += 1
@@ -178,9 +278,8 @@ class TraceReplayer:
         self._handle(completed, index)
 
     def _handle(self, completed, index):
-        """SelectReplayTrace of Algorithm 1: decide among the completed
-        matches ``D``, the pending tasks ``P``, and the active potential
-        matches ``A``.
+        """One SelectReplayTrace step: ask the policy what to hold, fire
+        the deferral once waiting stops paying, flush what cannot match.
 
         The best completed match is held (one deferral slot). It is
         committed only when no overlapping active pointer could still
@@ -189,15 +288,13 @@ class TraceReplayer:
         dropped (if disjoint, it is rediscovered when the pending tail is
         reprocessed after the winner fires).
         """
-        best = self.scoring.best(completed, index) if completed else None
-        if best is not None:
+        held = self.policy.select(completed, self.deferred, index)
+        if held is not None and held is not self.deferred:
             if self.deferred is None:
-                self.deferred = best
-                self.stats.deferrals += 1
-            elif self._beats(best, self.deferred, index):
-                self.deferred = best
-        if self.deferred is not None and not self._worth_waiting(
-            self.deferred, index
+                self._stats.deferrals += 1
+            self.deferred = held
+        if self.deferred is not None and not self.policy.worth_waiting(
+            self.deferred, index, self.engine.pointers()
         ):
             match = self.deferred
             self.deferred = None
@@ -205,32 +302,44 @@ class TraceReplayer:
             return
         self._flush_safe_prefix()
 
-    def _beats(self, challenger, incumbent, index):
-        cs = self.scoring.score(challenger.candidate, index)
-        inc = self.scoring.score(incumbent.candidate, index)
-        if cs != inc:
-            return cs > inc
-        if challenger.candidate.length != incumbent.candidate.length:
-            return challenger.candidate.length > incumbent.candidate.length
-        # Equal scores and lengths: prefer consuming the stream in order.
-        return challenger.start_index < incumbent.start_index
-
     def _worth_waiting(self, match, index):
-        """True while some active pointer overlapping ``match``'s region
-        may still complete a candidate scoring higher than ``match``."""
-        threshold = self.scoring.score(match.candidate, index)
-        for pointer in self.trie.active:
-            if pointer.start_index >= match.end_index:
-                # Pointers are sorted by start_index: every later one also
-                # consumes only stream beyond the match.
-                break
-            node = pointer.node
-            deep = node.deep
-            if deep is None or deep.length <= node.depth:
-                continue  # nothing deeper can complete from here
-            if self.scoring.potential(deep, index) > threshold:
-                return True
-        return False
+        """Compatibility spelling of the policy's deferral check."""
+        return self.policy.worth_waiting(
+            match, index, self.engine.pointers()
+        )
+
+    def _cycle_members(self, candidate):
+        """The candidate's rotation-group siblings (itself included)."""
+        entry = self._by_rotation.get(
+            (candidate.length, canonical_rotation(candidate.tokens))
+        )
+        if entry is not None and candidate in entry[0]:
+            return entry[0]
+        return (candidate,)
+
+    def _record_fire(self, candidate):
+        """Update the realized-replay record at a commit.
+
+        The fired candidate's cycle gets one more fire; the previously
+        fired cycle is charged every task flushed untraced since its
+        commit -- a commit that leaves the stream phase-shifted strands
+        the tokens after it, so the gap indicts the *previous* choice,
+        not whichever candidate happens to fire next. Both updates apply
+        to every rotation-group sibling: phases of one cycle are the
+        same periodic behaviour, and a per-phase record would let a
+        discounted cycle re-enter through a fresh rotation (burning one
+        recording per phase). Pure bookkeeping: with hysteresis off the
+        record never influences a decision.
+        """
+        previous = self._last_fired
+        stranded = self._flushed_since_fire
+        for member in self._cycle_members(candidate):
+            member.fires += 1
+        if previous is not None and stranded:
+            for member in self._cycle_members(previous):
+                member.gap_tokens += stranded
+        self._last_fired = candidate
+        self._flushed_since_fire = 0
 
     def _fire(self, match):
         """Commit a match: flush its prefix, issue it as a trace, reprocess
@@ -241,11 +350,12 @@ class TraceReplayer:
             trace_items.append(self.pending.popleft())
         tail = list(self.pending)
         self.pending = deque()
+        self._record_fire(match.candidate)
         self._issue_trace(match.candidate, [item[1] for item in trace_items])
-        self.trie.reset_pointers()
-        self.stats.traces_fired += 1
-        # Reprocess the tail through the trie so matches that began after
-        # the committed trace are rediscovered.
+        self.engine.reset()
+        self._stats.traces_fired += 1
+        # Reprocess the tail through the engine so matches that began
+        # after the committed trace are rediscovered.
         for index, task, token in tail:
             self.pending.append((index, task, token))
             self._advance(token, index)
@@ -259,10 +369,10 @@ class TraceReplayer:
             chunk = tasks[start : start + limit]
             if len(chunk) >= self.min_trace_length:
                 self.on_trace(candidate, chunk_index, chunk)
-                self.stats.tasks_traced += len(chunk)
+                self._stats.tasks_traced += len(chunk)
             else:
                 self.on_flush(chunk)
-                self.stats.tasks_flushed += len(chunk)
+                self._stats.tasks_flushed += len(chunk)
             start += limit
             chunk_index += 1
         if not candidate.recorded:
@@ -272,7 +382,7 @@ class TraceReplayer:
 
     def _flush_safe_prefix(self):
         """Flush pending tasks that can no longer join any match."""
-        bound = self.trie.earliest_active_start()
+        bound = self.engine.earliest_active_start()
         if self.deferred is not None:
             start = self.deferred.start_index
             bound = start if bound is None else min(bound, start)
@@ -287,4 +397,5 @@ class TraceReplayer:
             batch.append(self.pending.popleft()[1])
         if batch:
             self.on_flush(batch)
-            self.stats.tasks_flushed += len(batch)
+            self._stats.tasks_flushed += len(batch)
+            self._flushed_since_fire += len(batch)

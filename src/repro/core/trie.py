@@ -11,6 +11,14 @@ end of a candidate has matched that candidate.
 A matched candidate may be a prefix of a longer one (the node has both a
 candidate mark and children); the pointer keeps advancing so the replayer
 can prefer the longer match if it completes.
+
+This module owns the trie *structure* and the explicit pointer-scan
+matcher (:meth:`CandidateTrie.advance`), which is the reference
+semantics. The production serving path drives the trie through a
+pluggable :mod:`repro.core.matching` engine; the default automaton
+engine deduplicates the pointer set through the suffix links this
+module's nodes carry (``fail`` / ``out`` / ``chain_len``, maintained by
+:class:`~repro.core.matching.AutomatonMatchEngine`).
 """
 
 
@@ -21,9 +29,25 @@ class TrieNode:
     this node, and ``deep`` references that deepest candidate; the replayer
     uses them to decide whether a completed match might still extend into a
     longer (or higher-scoring) candidate and is worth deferring.
+
+    ``fail`` / ``out`` / ``chain_len`` are the automaton links of
+    :class:`~repro.core.matching.AutomatonMatchEngine` (deepest proper
+    suffix that is also a trie path; nearest suffix bearing a candidate;
+    number of suffix-chain entries at or above this node). They are
+    ``None``/0 until an automaton engine adopts the trie, and the scan
+    matcher never reads them.
     """
 
-    __slots__ = ("children", "candidate", "depth", "max_below", "deep")
+    __slots__ = (
+        "children",
+        "candidate",
+        "depth",
+        "max_below",
+        "deep",
+        "fail",
+        "out",
+        "chain_len",
+    )
 
     def __init__(self, depth=0):
         self.children = {}
@@ -31,6 +55,9 @@ class TrieNode:
         self.depth = depth
         self.max_below = depth
         self.deep = None  # deepest TraceCandidate at or below this node
+        self.fail = None  # automaton suffix link
+        self.out = None  # nearest candidate-bearing suffix node
+        self.chain_len = 0  # suffix-chain entries at or above this node
 
 
 class TraceCandidate:
@@ -48,6 +75,8 @@ class TraceCandidate:
         "last_seen_at",
         "replayed",
         "recorded",
+        "fires",
+        "gap_tokens",
     )
 
     def __init__(self, trace_id, tokens):
@@ -57,6 +86,12 @@ class TraceCandidate:
         self.last_seen_at = None
         self.replayed = False
         self.recorded = False
+        # Realized-replay record (scoring hysteresis, Section 4.3 churn
+        # fix): how often this candidate actually committed, and how many
+        # buffered tasks had to be flushed untraced immediately before
+        # its commits (the misalignment cost of choosing it).
+        self.fires = 0
+        self.gap_tokens = 0
 
     @property
     def length(self):
@@ -114,6 +149,10 @@ class CandidateTrie:
         self._by_tokens = {}  # tokens tuple -> TraceCandidate
         self._next_id = 0
         self.active = []
+        #: Bumped on every structural change (a candidate actually added
+        #: or removed); the automaton matcher uses it to invalidate its
+        #: links when the trie is mutated behind its back.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -150,7 +189,18 @@ class CandidateTrie:
         node.candidate = candidate
         self.candidates[candidate.trace_id] = candidate
         self._by_tokens[tokens] = candidate
+        self.version += 1
         return candidate
+
+    def find(self, tokens):
+        """The candidate whose trace is exactly ``tokens``, or ``None``.
+
+        The public spelling of the dedup lookup :meth:`insert` uses; the
+        replayer's ingestion path asks this before deciding whether a
+        mined repeat is a re-discovery (reinforce) or a new phase
+        (insert).
+        """
+        return self._by_tokens.get(tuple(tokens))
 
     def remove(self, candidate):
         """Remove a candidate's terminal mark (its nodes may be shared).
@@ -161,20 +211,24 @@ class CandidateTrie:
         would keep deferring matches waiting for an extension that can no
         longer complete. Branches left with no candidate at or below them
         are pruned so dead tokens stop spawning active pointers.
+
+        Returns ``True`` when the candidate was actually removed,
+        ``False`` for stale references (a no-op).
         """
         if self._by_tokens.get(candidate.tokens) is not candidate:
-            return  # stale reference: these tokens are not (or no longer) its
+            return False  # stale reference: tokens are not (or no longer) its
         node = self.root
         path = [node]
         for token in candidate.tokens:
             node = node.children.get(token)
             if node is None:
-                return
+                return False
             path.append(node)
         if node.candidate is candidate:
             node.candidate = None
         self.candidates.pop(candidate.trace_id, None)
         del self._by_tokens[candidate.tokens]
+        self.version += 1
         for i in range(len(path) - 1, -1, -1):
             node = path[i]
             deepest = node.candidate
@@ -187,6 +241,7 @@ class CandidateTrie:
             node.max_below = deepest.length if deepest is not None else node.depth
             if i > 0 and not node.children and deepest is None:
                 del path[i - 1].children[candidate.tokens[i - 1]]
+        return True
 
     # ------------------------------------------------------------------
     # Stream matching (AdvanceActiveCandidates / Filter* of Algorithm 1)

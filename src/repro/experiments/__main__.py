@@ -7,12 +7,14 @@ Usage::
     python -m repro.experiments --list
 
 Figures: fig6a fig6b fig7a fig7b fig8 fig9 fig10 sec63
-Extras (not paper figures): service (multi-tenant aggregate throughput)
+Extras (not paper figures): service (multi-tenant aggregate throughput),
+replayer (serving-path tokens/sec per match engine)
 """
 
 import sys
 
 from repro.experiments.multi_tenant import main as run_service_bench
+from repro.experiments.replayer_perf import main as run_replayer_bench
 from repro.experiments.overheads import launch_overheads
 from repro.experiments.report import (
     format_speedups,
@@ -70,6 +72,7 @@ RUNNERS = {
     "fig10": run_fig10,
     "sec63": run_sec63,
     "service": run_service_bench,
+    "replayer": run_replayer_bench,
 }
 
 

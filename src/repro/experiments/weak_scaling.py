@@ -32,19 +32,21 @@ class FigureSpec:
 
 #: One spec per weak-scaling figure in the paper. Iteration counts default
 #: to enough for the Figure 9 warmup plus a measurement window; the
-#: cuPyNumeric apps need longer warmups (Section 6.3).
+#: cuPyNumeric apps need longer warmups (Section 6.3), and the natural
+#: (unpinned) reduced-scale buffers reach steady state later than the
+#: old power-of-two-pinned sizing did.
 WEAK_SCALING_FIGURES = {
     "fig6a": FigureSpec(
         "fig6a", "s3d", PERLMUTTER, (4, 8, 16, 32, 64),
-        ("auto", "manual", "untraced"), 90, 55, 0.25,
+        ("auto", "manual", "untraced"), 220, 150, 0.25,
     ),
     "fig6b": FigureSpec(
         "fig6b", "htr", PERLMUTTER, (4, 8, 16, 32, 64),
-        ("auto", "manual", "untraced"), 90, 55, 0.5,
+        ("auto", "manual", "untraced"), 220, 150, 0.5,
     ),
     "fig7a": FigureSpec(
         "fig7a", "cfd", EOS, (1, 2, 4, 8, 16, 32, 64),
-        ("auto", "untraced"), 160, 110, 0.5,
+        ("auto", "untraced"), 420, 370, 0.5,
     ),
     "fig7b": FigureSpec(
         "fig7b", "torchswe", EOS, (1, 2, 4, 8, 16, 32, 64),

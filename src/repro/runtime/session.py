@@ -21,14 +21,23 @@ from repro.runtime.runtime import Runtime, TaskMode
 
 
 class RuntimeHandle:
-    """One session's runtime plus convenience accessors."""
+    """One session's runtime plus convenience accessors.
 
-    __slots__ = ("session_id", "runtime", "created_seq")
+    When the serving backend binds its processor
+    (:meth:`RuntimeSessionFactory.bind_processor`), the handle also
+    exposes the session's replay-engine counters, so experiments can
+    read per-tenant serving-path behaviour (pointer pressure, dedup
+    collapses, hysteresis interventions) from the factory without
+    reaching through the service.
+    """
+
+    __slots__ = ("session_id", "runtime", "created_seq", "processor")
 
     def __init__(self, session_id, runtime, created_seq=0):
         self.session_id = session_id
         self.runtime = runtime
         self.created_seq = created_seq
+        self.processor = None  # bound by the serving backend, if any
 
     @property
     def tasks_launched(self):
@@ -49,6 +58,14 @@ class RuntimeHandle:
         return sum(
             1 for r in self.runtime.task_log if r.mode == TaskMode.REPLAYED
         )
+
+    def serving_stats(self):
+        """The bound processor's replay-engine counters
+        (:class:`~repro.core.replayer.ReplayerStats`), or ``None`` when
+        no serving backend bound a processor to this handle."""
+        if self.processor is None:
+            return None
+        return self.processor.replayer.stats
 
     def __repr__(self):
         return (
@@ -100,9 +117,20 @@ class RuntimeSessionFactory:
         self.handles[session_id] = handle
         return handle
 
+    def bind_processor(self, session_id, processor):
+        """Attach the serving processor to a tracked handle (no-op for
+        application-owned runtimes the factory never saw)."""
+        handle = self.handles.get(session_id)
+        if handle is not None:
+            handle.processor = processor
+        return handle
+
     def release(self, session_id):
         """Drop the handle for an evicted/closed session, if tracked."""
-        return self.handles.pop(session_id, None)
+        handle = self.handles.pop(session_id, None)
+        if handle is not None:
+            handle.processor = None  # the backend retired the session
+        return handle
 
     def __len__(self):
         return len(self.handles)

@@ -162,6 +162,10 @@ class ApopheniaService:
         processor = ApopheniaProcessor(
             runtime, cfg, node_id=node_id, executor=lane
         )
+        if owns_runtime:
+            # Factory-tracked handles expose the session's replay-engine
+            # counters (RuntimeHandle.serving_stats).
+            self.runtime_factory.bind_processor(session_id, processor)
         session = SessionHandle(session_id, self, processor, runtime, lane,
                                 owns_runtime)
         self._tick += 1
@@ -227,14 +231,27 @@ class ApopheniaService:
 
     @property
     def stats(self):
-        """Aggregate service counters plus the shared executor's."""
+        """Aggregate service counters plus the shared executor's.
+
+        The serving-path gauges aggregate over *open* sessions: the
+        pointer peak is a max (the worst ladder any tenant's stream
+        built), collapses and suppressed switches are sums (total work
+        the deduplicating engine avoided / total churn the hysteresis
+        absorbed, fleet-wide).
+        """
         stats = dict(self.executor.stats)
+        replayers = [s.stats for s in self.sessions.values()]
         stats.update(
             sessions_open=len(self.sessions),
             sessions_opened=self.sessions_opened,
             sessions_evicted=self.sessions_evicted,
-            tasks_seen=sum(
-                s.stats.tasks_seen for s in self.sessions.values()
+            tasks_seen=sum(r.tasks_seen for r in replayers),
+            active_pointer_peak=max(
+                (r.active_pointer_peak for r in replayers), default=0
+            ),
+            pointer_collapses=sum(r.pointer_collapses for r in replayers),
+            hysteresis_suppressed=sum(
+                r.hysteresis_suppressed for r in replayers
             ),
         )
         return stats

@@ -432,7 +432,9 @@ class TestSessionStatsSurface:
             handle = session.handle
             # Replayer counters == the internals-poking tuple.
             assert stats.replayer_counters() == \
-                handle.processor.stats.as_tuple()
+                handle.processor.stats.decision_tuple()
+            assert stats.serving_counters() == \
+                handle.processor.stats.as_tuple()[6:9]
             # Executor-side counters == the per-lane internals.
             assert stats.memo_hits == handle.lane.memo_hits
             assert stats.jobs_submitted == handle.lane.jobs_submitted

@@ -1,0 +1,260 @@
+"""Match-engine parity: the deduplicated automaton vs the scan reference.
+
+The load-bearing property of the serving-path refactor: every match
+engine produces byte-identical matching behaviour — completed matches,
+flush bounds, live-pointer enumeration — so the tbegin/tend decision
+stream stays a pure function of tokens + ingested candidates whichever
+engine serves it (Section 5.1's distributed-agreement argument). The
+scan engine is the seed semantics; these suites drive both engines in
+lockstep through randomized streams with mid-stream ingests, removals,
+resets, and the replayer's reset-then-reprocess-old-indices pattern,
+and through the real application streams.
+"""
+
+import random
+
+import pytest
+
+from repro.core.matching import (
+    DEFAULT_MATCH_ENGINE,
+    MATCH_ENGINES,
+    AutomatonMatchEngine,
+    ScanMatchEngine,
+    get_match_engine,
+)
+from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.core.repeats import Repeat
+from repro.core.replayer import TraceReplayer
+from repro.registry import RegistryError
+from repro.runtime.runtime import Runtime
+
+
+def match_keys(matches):
+    return [
+        (m.candidate.tokens, m.start_index, m.end_index) for m in matches
+    ]
+
+
+class EnginePair:
+    """Drives scan + automaton in lockstep, asserting equal behaviour."""
+
+    def __init__(self):
+        self.scan = ScanMatchEngine()
+        self.automaton = AutomatonMatchEngine()
+
+    def insert(self, tokens):
+        a = self.scan.insert(tokens)
+        b = self.automaton.insert(tokens)
+        assert a.tokens == b.tokens
+
+    def remove(self, tokens):
+        a = self.scan.find(tokens)
+        b = self.automaton.find(tokens)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert self.scan.remove(a) == self.automaton.remove(b)
+
+    def reset(self):
+        self.scan.reset()
+        self.automaton.reset()
+
+    def advance(self, token, index, context=""):
+        got_scan = match_keys(self.scan.advance(token, index))
+        got_auto = match_keys(self.automaton.advance(token, index))
+        assert got_scan == got_auto, (context, index, got_scan, got_auto)
+        assert (self.scan.earliest_active_start()
+                == self.automaton.earliest_active_start()), (context, index)
+        pointers_scan = [(s, n.depth) for s, n in self.scan.pointers()]
+        pointers_auto = [(s, n.depth) for s, n in self.automaton.pointers()]
+        assert pointers_scan == pointers_auto, (context, index)
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_streams_with_ingests_removals_resets(self, seed):
+        rng = random.Random(seed)
+        pair = EnginePair()
+        known = []
+        for index in range(300):
+            roll = rng.random()
+            if roll < 0.06 and len(known) < 12:
+                tokens = tuple(
+                    rng.randrange(3) for _ in range(rng.randint(1, 8))
+                )
+                pair.insert(tokens)
+                known.append(tokens)
+            elif roll < 0.09 and known:
+                pair.remove(rng.choice(known))
+            elif roll < 0.11:
+                pair.reset()
+            pair.advance(rng.randrange(3), index, context=f"seed={seed}")
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_reset_then_reprocess_old_indices(self, seed):
+        """The replayer's _fire pattern: pointers reset, then the pending
+        tail re-advances under its *original* stream indices, possibly
+        with fresh candidates ingested mid-tail. Liveness bookkeeping
+        keyed naively on stream indices would refuse those respawns."""
+        rng = random.Random(seed)
+        pair = EnginePair()
+        for tokens in [(0, 1), (0, 1, 2, 0), (1, 2), (2, 2, 1)]:
+            pair.insert(tokens)
+        index = 0
+        for _ in range(20):
+            for _ in range(rng.randint(1, 10)):
+                pair.advance(rng.randrange(3), index)
+                index += 1
+            pair.reset()
+            for old in range(index - rng.randint(0, 5), index):
+                if rng.random() < 0.3:
+                    pair.insert(tuple(
+                        rng.randrange(3) for _ in range(rng.randint(1, 5))
+                    ))
+                pair.advance(rng.randrange(3), old)
+
+    def test_no_resurrection_across_ingest(self):
+        """A suffix that failed under the trie-as-it-was must stay dead
+        even when a later ingest makes its path valid again."""
+        engine = AutomatonMatchEngine()
+        engine.insert((7, 8, 9))
+        # 'ab' is no trie path yet: these tokens spawn nothing.
+        engine.advance("a", 0)
+        engine.advance("b", 1)
+        # Now 'abc' becomes a candidate. The dead 'ab' suffix must not
+        # resurrect: no match may complete at index 2 (the scan engine
+        # dropped those pointers when they failed to spawn).
+        engine.insert(("a", "b", "c"))
+        assert engine.advance("c", 2) == []
+        # A fresh occurrence after the ingest matches normally.
+        engine.advance("a", 3)
+        engine.advance("b", 4)
+        (match,) = engine.advance("c", 5)
+        assert match.start_index == 3
+
+
+class TestReplayerLevelParity:
+    """Full TraceReplayer decisions must match across engines."""
+
+    def drive(self, engine, events):
+        fired = []
+        replayer = TraceReplayer(
+            on_flush=lambda tasks: None,
+            on_trace=lambda c, i, tasks: fired.append(
+                (c.tokens, i, len(tasks))
+            ),
+            min_trace_length=2,
+            match_engine=engine,
+        )
+        for kind, payload in events:
+            if kind == "ingest":
+                replayer.ingest(payload)
+            else:
+                replayer.process(None, payload)
+        replayer.flush_all()
+        return fired, replayer.stats.decision_tuple()
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_randomized_decision_streams(self, seed):
+        rng = random.Random(1000 + seed)
+        events = []
+        for _ in range(400):
+            if rng.random() < 0.04:
+                length = rng.randint(2, 10)
+                tokens = tuple(
+                    rng.randrange(4) for _ in range(length)
+                )
+                events.append(
+                    ("ingest", [Repeat(tokens, [0, length])])
+                )
+            events.append(("token", rng.randrange(4)))
+        results = {
+            engine: self.drive(engine, events) for engine in MATCH_ENGINES
+        }
+        reference = results[DEFAULT_MATCH_ENGINE]
+        for engine, result in results.items():
+            assert result == reference, engine
+
+    def test_periodic_stream_with_rotations(self):
+        events = [("ingest", [Repeat(("a", "b", "c", "d") * 3, [0, 12]),
+                              Repeat(("c", "d", "a", "b") * 2, [0, 8])])]
+        events += [("token", t) for t in ("a", "b", "c", "d") * 40]
+        assert self.drive("scan", events) == self.drive("automaton", events)
+
+
+class TestProcessorLevelParity:
+    """The acceptance property: per app, the engine never changes the
+    tbegin/tend decision stream (hysteresis off => exact parity with the
+    seed scan matcher)."""
+
+    @pytest.mark.parametrize("app_name", ("s3d", "stencil", "jacobi", "cfd"))
+    def test_app_decision_streams_identical(self, app_name):
+        from repro.experiments.multi_tenant import capture_stream
+
+        stream = capture_stream(app_name, 700, task_scale=0.05)
+        traces = {}
+        stats = {}
+        for engine in MATCH_ENGINES:
+            config = ApopheniaConfig(
+                min_trace_length=3,
+                batchsize=200,
+                multi_scale_factor=25,
+                job_base_latency_ops=10,
+                initial_ingest_margin_ops=20,
+                match_engine=engine,
+            )
+            runtime = Runtime(analysis_mode="fast",
+                              mismatch_policy="fallback",
+                              keep_task_log=False)
+            processor = ApopheniaProcessor(runtime, config)
+            for iteration, task in stream:
+                processor.set_iteration(iteration)
+                processor.execute_task(task)
+            processor.flush()
+            traces[engine] = processor.decision_trace()
+            stats[engine] = processor.replayer.stats
+        assert traces["automaton"] == traces["scan"]
+        assert (stats["automaton"].decision_tuple()
+                == stats["scan"].decision_tuple())
+        assert traces["automaton"], app_name  # traces actually fired
+        assert stats["scan"].pointer_collapses == 0
+        if app_name != "cfd":
+            # The dedup must actually engage on these periodic streams
+            # (cfd's stream at this scale never builds a pointer ladder).
+            assert stats["automaton"].pointer_collapses > 0
+            assert stats["scan"].active_pointer_peak > 1
+
+
+class TestEngineSurface:
+    def test_registry_and_default(self):
+        assert DEFAULT_MATCH_ENGINE in MATCH_ENGINES
+        assert isinstance(get_match_engine(None), AutomatonMatchEngine)
+        assert isinstance(get_match_engine("scan"), ScanMatchEngine)
+        with pytest.raises(RegistryError):
+            get_match_engine("nope")
+
+    def test_factory_callable(self):
+        built = []
+
+        def factory(trie):
+            engine = ScanMatchEngine(trie)
+            built.append(engine)
+            return engine
+
+        engine = get_match_engine(factory)
+        assert built == [engine]
+
+    def test_config_validation(self):
+        ApopheniaConfig(match_engine="scan").validate()
+        with pytest.raises(ValueError, match="match engine"):
+            ApopheniaConfig(match_engine="nope").validate()
+        with pytest.raises(ValueError, match="hysteresis"):
+            ApopheniaConfig(hysteresis=-1.0).validate()
+
+    def test_direct_trie_mutation_relinks(self):
+        """Mutating the trie behind the engine's back (tests do this)
+        still yields structurally correct matching after a relink."""
+        engine = AutomatonMatchEngine()
+        engine.trie.insert("ab")
+        assert engine.advance("a", 0) == []
+        (match,) = engine.advance("b", 1)
+        assert match.candidate.tokens == ("a", "b")

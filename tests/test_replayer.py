@@ -165,3 +165,136 @@ class TestRecordedReplayedFlags:
         cand = next(iter(h.replayer.trie.candidates.values()))
         assert cand.recorded
         assert cand.replayed  # fired at least twice
+
+
+class TestCandidateRemoval:
+    """Candidate eviction must clean up the rotation groups.
+
+    Regression: ``remove_candidate`` used to leave the evicted candidate
+    in its rotation group, so (a) re-discoveries of the cycle kept
+    resurrecting the stale member's occurrence count, and (b) the group
+    still looked fully populated, permanently blocking the evicted
+    trace's tokens from re-entering the trie.
+    """
+
+    def test_removed_candidate_can_be_readmitted(self):
+        h = Harness(min_trace_length=2)
+        r = h.replayer
+        r.max_phases_per_cycle = 1  # one phase: eviction empties the group
+        r.ingest([Repeat("ab", [0, 2])])
+        cand = r.trie.find("ab")
+        assert r.remove_candidate(cand)
+        assert r.trie.find("ab") is None
+        assert not r._by_rotation  # the emptied group is gone
+        # Re-discovery of the same cycle re-admits it with a fresh count.
+        r.ingest([Repeat("ab", [0, 2])])
+        again = r.trie.find("ab")
+        assert again is not None and again is not cand
+        assert again.occurrences == 2  # not the stale accumulated total
+
+    def test_stale_member_does_not_resurrect_counts(self):
+        h = Harness(min_trace_length=2)
+        r = h.replayer
+        r.ingest([Repeat("ab", [0, 2, 4])])  # count 3
+        cand = r.trie.find("ab")
+        assert r.remove_candidate(cand)
+        r.ingest([Repeat("ab", [0, 2])])  # fresh discovery, count 2
+        assert cand.occurrences == 3  # the evicted member stays untouched
+        assert r.trie.find("ab").occurrences == 2
+
+    def test_partial_group_removal_keeps_siblings(self):
+        h = Harness(min_trace_length=2)
+        r = h.replayer
+        r.ingest([Repeat("ab", [0, 2]), Repeat("ba", [1, 3])])  # one cycle
+        first = r.trie.find("ab")
+        sibling = r.trie.find("ba")
+        assert first.occurrences == sibling.occurrences == 4  # shared cycle
+        assert r.remove_candidate(first)
+        (entry,) = r._by_rotation.values()
+        assert entry[0] == [sibling]
+        # Reinforcement still reaches the surviving phase only.
+        r.ingest([Repeat("ab", [0, 2])])
+        assert sibling.occurrences == 6
+        assert first.occurrences == 4  # the evicted member stays frozen
+
+    def test_remove_stale_reference_is_noop(self):
+        h = Harness(min_trace_length=2)
+        r = h.replayer
+        r.ingest([Repeat("ab", [0, 2])])
+        cand = r.trie.find("ab")
+        assert r.remove_candidate(cand)
+        assert not r.remove_candidate(cand)  # second removal: no-op
+
+
+class TestWorthWaitingEdges:
+    def test_deferred_match_at_stream_head(self):
+        """A match completing at the very head of the stream (start 0)
+        defers while a longer candidate is live from the same head, and
+        the pending buffer is not flushed past the match start."""
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 5]), Repeat("abcde", [0, 10])])
+        h.feed("ab")
+        assert h.replayer.deferred is not None
+        assert h.replayer.deferred.start_index == 0
+        assert h.replayer._worth_waiting(h.replayer.deferred, 1)
+        assert not h.forwarded  # everything still buffered
+        h.feed("q")  # the extension dies: the deferral fires
+        assert [t[1] for t in h.traces()] == [("a", "b")]
+
+    def test_pointer_at_deep_length_equal_node_depth_is_ignored(self):
+        """A pointer whose node's deepest candidate ends exactly at the
+        node (``deep.length == node.depth``) cannot complete anything
+        deeper and must not hold a deferral open."""
+        from repro.core.trie import TrieNode
+
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 5])])
+        h.feed("ab")  # completes; no longer candidate exists anywhere
+        match = h.replayer.deferred
+        if match is None:  # already fired: the wait correctly ended
+            assert [t[1] for t in h.traces()] == [("a", "b")]
+            return
+        # Direct policy check with a hand-built exhausted node.
+        node = TrieNode(depth=2)
+        node.children = {"x": TrieNode(depth=3)}
+        node.deep = h.replayer.trie.find("ab")
+        assert node.deep.length == node.depth
+        assert not h.replayer.policy.worth_waiting(
+            match, 2, iter([(0, node)])
+        )
+
+    def test_pointer_with_no_deep_is_ignored(self):
+        from repro.core.trie import CompletedMatch, TrieNode
+
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 5])])
+        h.feed("ab")
+        cand = h.replayer.trie.find("ab")
+        match = CompletedMatch(cand, 0, 2)
+        node = TrieNode(depth=1)
+        node.children = {"x": TrieNode(depth=2)}
+        assert node.deep is None
+        assert not h.replayer.policy.worth_waiting(
+            match, 2, iter([(0, node)])
+        )
+
+    def test_pointer_past_match_end_breaks_scan(self):
+        """Pointers starting at or beyond the match end never justify
+        waiting (they consume only stream beyond the match)."""
+        from repro.core.trie import CompletedMatch, TrieNode
+
+        h = Harness(min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 5]), Repeat("abcde", [0, 10])])
+        cand = h.replayer.trie.find("ab")
+        deep_node = TrieNode(depth=1)
+        deep_node.children = {"b": TrieNode(depth=2)}
+        deep_node.deep = h.replayer.trie.find("abcde")
+        match = CompletedMatch(cand, 0, 2)
+        # Same node, but the pointer starts at the match end: no wait.
+        assert not h.replayer.policy.worth_waiting(
+            match, 2, iter([(2, deep_node)])
+        )
+        # One index earlier, it overlaps: wait.
+        assert h.replayer.policy.worth_waiting(
+            match, 2, iter([(1, deep_node)])
+        )

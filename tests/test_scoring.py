@@ -2,6 +2,8 @@
 
 import math
 
+import pytest
+
 from repro.core.scoring import ScoringPolicy
 from repro.core.trie import CandidateTrie, CompletedMatch
 
@@ -59,6 +61,88 @@ class TestScore:
         short_fresh = candidate(20, 16, last_seen=2000, replayed=True)
         now = 2000
         assert policy.score(short_fresh, now) > policy.score(long_stale, now)
+
+
+class TestHysteresis:
+    """Realized-replay-share weighting (the scoring churn fix)."""
+
+    def fired(self, length=200, fires=4, gap_tokens=0):
+        c = candidate(length, 16, replayed=True)
+        c.fires = fires
+        c.gap_tokens = gap_tokens
+        return c
+
+    def test_realized_share(self):
+        policy = ScoringPolicy()
+        clean = self.fired(200, fires=4, gap_tokens=0)
+        dirty = self.fired(200, fires=4, gap_tokens=200)
+        assert policy.realized_share(clean) == 1.0
+        assert policy.realized_share(dirty) == pytest.approx(0.8)
+        assert policy.realized_share(candidate(200)) == 1.0  # never fired
+
+    def test_off_by_default_and_exact(self):
+        policy = ScoringPolicy()  # hysteresis = 0
+        dirty = self.fired(gap_tokens=500)
+        assert policy.weighted_score(dirty, 0) == policy.score(dirty, 0)
+        assert policy.weighted_potential(dirty, 0) == \
+            policy.potential(dirty, 0)
+
+    def test_discount_applies_to_dirty_candidates_only(self):
+        policy = ScoringPolicy(hysteresis=2.0, decay_rate=0.0)
+        dirty = self.fired(200, fires=4, gap_tokens=200)  # share 0.8
+        clean = self.fired(200, fires=4, gap_tokens=0)
+        fresh = candidate(200, 16)
+        assert policy.weighted_potential(dirty, 0) == pytest.approx(
+            policy.potential(dirty, 0) * 0.8 ** 2
+        )
+        assert policy.weighted_potential(clean, 0) == \
+            policy.potential(clean, 0)
+        # Untried candidates keep the optimistic paper treatment.
+        assert policy.weighted_potential(fresh, 0) == \
+            policy.potential(fresh, 0)
+
+    def test_min_length_gate(self):
+        """Short-fragment candidates are never discounted: the churn is
+        a full-buffer-scale phenomenon, and inter-fragment noise on
+        short-period streams is nobody's fault."""
+        policy = ScoringPolicy(hysteresis=2.0, hysteresis_min_length=100)
+        short = self.fired(length=9, fires=4, gap_tokens=36)
+        long = self.fired(length=100, fires=4, gap_tokens=400)
+        assert policy.weighted_score(short, 0) == policy.score(short, 0)
+        assert policy.weighted_score(long, 0) < policy.score(long, 0)
+
+    def test_worth_waiting_suppresses_dirty_speculation(self):
+        from repro.core.scoring import ReplayDecisionPolicy
+        from repro.core.trie import CompletedMatch, TrieNode
+
+        scoring = ScoringPolicy(hysteresis=2.0, decay_rate=0.0)
+        policy = ReplayDecisionPolicy(scoring)
+        held = self.fired(200, fires=8, gap_tokens=0)  # proven, clean
+        dirty = self.fired(210, fires=8, gap_tokens=420)  # share 0.8
+        node = TrieNode(depth=50)
+        node.children = {"x": TrieNode(depth=51)}
+        node.deep = dirty
+        match = CompletedMatch(held, 0, 200)
+        # Raw scoring would wait (210 > 200 at full cap + bonus); the
+        # discounted potential loses, and the suppression is counted.
+        assert scoring.potential(dirty, 200) > scoring.score(held, 200)
+        assert not policy.worth_waiting(match, 200, iter([(10, node)]))
+        assert policy.hysteresis_suppressed == 1
+        # A clean challenger of the same length still wins the wait.
+        node.deep = self.fired(210, fires=8, gap_tokens=0)
+        assert policy.worth_waiting(match, 200, iter([(10, node)]))
+
+    def test_beats_defends_incumbent_against_dirty_challenger(self):
+        from repro.core.scoring import ReplayDecisionPolicy
+        from repro.core.trie import CompletedMatch
+
+        scoring = ScoringPolicy(hysteresis=2.0, decay_rate=0.0)
+        policy = ReplayDecisionPolicy(scoring)
+        incumbent = CompletedMatch(self.fired(200, 8, 0), 0, 200)
+        dirty = CompletedMatch(self.fired(210, 8, 420), 0, 210)
+        assert policy.select([dirty], incumbent, 210) is incumbent
+        clean = CompletedMatch(self.fired(210, 8, 0), 0, 210)
+        assert policy.select([clean], incumbent, 210) is clean
 
 
 class TestBest:

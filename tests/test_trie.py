@@ -26,6 +26,28 @@ class TestInsert:
         assert c1 is c2
         assert len(trie) == 1
 
+    def test_find_is_the_public_dedup_lookup(self):
+        trie = CandidateTrie()
+        assert trie.find("abc") is None
+        c = trie.insert("abc")
+        assert trie.find("abc") is c
+        assert trie.find(("a", "b", "c")) is c  # any iterable spelling
+        assert trie.find("ab") is None  # prefixes are not the candidate
+        trie.remove(c)
+        assert trie.find("abc") is None
+
+    def test_version_tracks_structural_changes(self):
+        trie = CandidateTrie()
+        v0 = trie.version
+        c = trie.insert("ab")
+        assert trie.version == v0 + 1
+        assert trie.insert("ab") is c  # reinsert: no structural change
+        assert trie.version == v0 + 1
+        assert trie.remove(c)
+        assert trie.version == v0 + 2
+        assert not trie.remove(c)  # stale: no structural change
+        assert trie.version == v0 + 2
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             CandidateTrie().insert("")
