@@ -1,15 +1,21 @@
 """Client-API quickstart: one session lifecycle, any deployment.
 
-The same tiny iterative application is served twice through
-``repro.api.open_session`` -- once by a standalone processor, once as a
-tenant of a shared multi-tenant service -- with *identical client code*
-between the two runs. The facade guarantees the tracing decisions are
-byte-identical either way (the service only changes throughput, never
-decisions), which the final assertion checks via ``Session.snapshot()``.
+The same tiny iterative application is served three times through
+``repro.api.open_session`` -- by a standalone processor, as a tenant of
+a shared multi-tenant service, and control-replicated across three
+nodes -- with *identical client code* between the runs. The facade
+guarantees the standalone and service decisions are byte-identical (the
+service only changes throughput, never decisions), which the final
+assertion checks via ``Session.snapshot()``; the replicated run instead
+demonstrates the Section 5.1 agreement protocol: every node replica
+issues the identical decision stream even though their asynchronous
+analyses complete at different (jittered) times.
 
 Also shown: named configuration profiles with keyword overrides
 (``build_config``), and the uniform ``SessionStats`` surface that
-replaces reaching into processor internals.
+replaces reaching into processor internals -- including the coordinator
+gauges (waits, ingestion margin, agreement-table size) the replicated
+backend surfaces.
 
 Run:  python examples/api_quickstart.py
 """
@@ -57,7 +63,20 @@ def main():
     with api.open_session("tenant", backend=service) as session:
         service_stats, service_snapshot = drive(session)
 
-    print(f"API quickstart: {ITERATIONS} iterations x 3 tasks, served twice")
+    # Deployment 3: the same application control-replicated on 3 nodes,
+    # one shared ingestion coordinator per session (Section 5.1). The
+    # tight initial margin forces the protocol to wait and grow before
+    # reaching its steady state.
+    with api.open_session(
+        "replica-set", backend="replicated",
+        config=CONFIG.with_overrides(num_nodes=3,
+                                     initial_ingest_margin_ops=10),
+    ) as session:
+        replicated_stats, _ = drive(session)
+        nodes_agree = session.handle.decisions_agree()
+
+    print(f"API quickstart: {ITERATIONS} iterations x 3 tasks, "
+          "served three ways")
     for label, stats in (("standalone", solo_stats),
                          ("service", service_stats)):
         print(f"  {label:10s} replay fraction: {stats.replay_fraction:6.1%}  "
@@ -72,12 +91,23 @@ def main():
               f"walks collapsed: {stats.pointer_collapses:6d}  "
               f"hysteresis suppressions: {stats.hysteresis_suppressed}")
 
+    # The replicated deployment: N nodes, one agreement protocol. The
+    # coordinator gauges come from the same uniform stats surface.
+    print(f"  {'replicated':10s} replay fraction: "
+          f"{replicated_stats.replay_fraction:6.1%}  "
+          f"nodes: {replicated_stats.nodes}  "
+          f"waits: {replicated_stats.coordinator_waits}  "
+          f"margin: 10 -> {replicated_stats.ingest_margin_ops} ops  "
+          f"live agreements: {replicated_stats.agreement_table_size}")
+
     # The deployment-agnosticism contract: identical decisions.
     assert solo_snapshot.decisions == service_snapshot.decisions, (
         "backends must change throughput, never decisions"
     )
     assert solo_stats.replay_fraction > 0.8
+    assert nodes_agree, "replicated nodes must issue identical streams"
     print("  decision streams byte-identical across backends: yes")
+    print("  replicated node replicas issued identical streams: yes")
 
 
 if __name__ == "__main__":

@@ -19,6 +19,13 @@ python -m pytest -x -q tests
 echo "== public API surface"
 python -m pytest -x -q -m api tests/test_api_surface.py
 
+# Control replication: the Section 5.1 agreement protocol and the
+# replicated tracing backend (all-node decision agreement, coordinator
+# pruning, divergence demonstration). Already part of tests/ above; this
+# step gives replication regressions their own unmistakable step name.
+echo "== replication suite"
+python -m pytest -x -q -m replication tests
+
 # Fast floors over the two perf-tracked hot paths: suffix-array backend
 # equivalence (tests/) and the replayer match-engine speedup
 # (benchmarks/test_perf_replayer.py::test_perf_replayer_smoke).

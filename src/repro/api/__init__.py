@@ -12,7 +12,7 @@ all of them:
   whichever backend serves it;
 * :class:`TracingBackend` -- the protocol that makes backends
   interchangeable, with :data:`TRACING_BACKENDS` as the plugin registry
-  (``"standalone"``, ``"service"``, multi-node next);
+  (``"standalone"``, ``"service"``, ``"replicated"``);
 * :func:`build_config` -- the validating configuration builder: named
   :data:`PROFILES`, keyword overrides, and centralized ``REPRO_*``
   environment layering;
@@ -47,6 +47,7 @@ from repro.api.session import (
 )
 from repro.api.stats import SessionStats, collect_session_stats
 from repro.core.processor import ApopheniaConfig
+from repro.service.replicated import ReplicatedBackend
 from repro.service.service import ApopheniaService
 
 
@@ -75,6 +76,7 @@ __all__ = [
     "ENV_PREFIX",
     "PROFILES",
     "PROFILE_ENV_VAR",
+    "ReplicatedBackend",
     "Session",
     "SessionSnapshot",
     "SessionStats",

@@ -15,17 +15,20 @@ One lifecycle, whatever serves it::
         ...                                            # same code, shared
                                                        # mining backend
 
-"Standalone processor", "lane in a shared service", and (future)
-"replicated node" are interchangeable **tracing backends** behind the
-:class:`TracingBackend` protocol: anything with ``backend_kind``,
-``open_session``, ``close_session``, and ``backend_stats``.
-:class:`~repro.core.processor.ApopheniaProcessor` (one session, itself)
-and :class:`~repro.service.ApopheniaService` (many sessions over one
-shared executor) both implement it; :class:`StandaloneBackend` pools
-per-session processors behind the same shape so ``backend="standalone"``
-and ``backend="service"`` are symmetric. The multi-node path will slot
-an ``IngestCoordinator``-backed replicated backend in behind the same
-surface without touching client code.
+"Standalone processor", "lane in a shared service", and "N-node
+control-replicated session" are interchangeable **tracing backends**
+behind the :class:`TracingBackend` protocol: anything with
+``backend_kind``, ``open_session``, ``close_session``, and
+``backend_stats``. :class:`~repro.core.processor.ApopheniaProcessor`
+(one session, itself) and :class:`~repro.service.ApopheniaService` (many
+sessions over one shared executor) both implement it;
+:class:`StandaloneBackend` pools per-session processors behind the same
+shape so ``backend="standalone"`` and ``backend="service"`` are
+symmetric; and :class:`~repro.service.replicated.ReplicatedBackend`
+(``backend="replicated"``) serves each session on N control-replicated
+node processors sharing a per-session ``IngestCoordinator`` -- the
+Section 5.1 deployment, landed behind this surface without touching
+client code.
 
 The facade is decision-neutral by construction: it adds no buffering, no
 reordering, and no configuration of its own -- ``submit`` is one method
@@ -42,6 +45,12 @@ from repro.api.stats import collect_session_stats
 from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
 from repro.registry import Registry
 from repro.runtime.session import RuntimeSessionFactory
+from repro.service.aggregates import (
+    RetiredCounters,
+    finish_totals,
+    fold_processor_stats,
+)
+from repro.service.replicated import ReplicatedBackend
 from repro.service.service import ApopheniaService
 
 
@@ -98,11 +107,7 @@ class StandaloneBackend:
         # Lifetime counters of closed sessions, so backend_stats reports
         # the same history a service's shared executor would (its
         # aggregates survive release_lane).
-        self._retired_jobs = 0
-        self._retired_memo_hits = 0
-        self._retired_pointer_peak = 0
-        self._retired_collapses = 0
-        self._retired_suppressed = 0
+        self._retired = RetiredCounters()
 
     def open_session(self, session_id, runtime=None, config=None, node_id=0,
                      priority=0):
@@ -123,18 +128,25 @@ class StandaloneBackend:
         return processor
 
     def close_session(self, session_id):
-        processor, owns_runtime = self.sessions.pop(session_id)
-        processor.close_session(session_id)
-        self._retired_jobs += processor.executor.jobs_submitted
-        self._retired_memo_hits += processor.executor.memo_hits
-        replayer_stats = processor.replayer.stats
-        self._retired_pointer_peak = max(
-            self._retired_pointer_peak, replayer_stats.active_pointer_peak
-        )
-        self._retired_collapses += replayer_stats.pointer_collapses
-        self._retired_suppressed += replayer_stats.hysteresis_suppressed
-        if owns_runtime:
-            self.runtime_factory.release(session_id)
+        """Flush and retire a session; exception-safe.
+
+        The pool entry, lifetime counters, and factory-owned runtime are
+        released even when the flush raises (the error still
+        propagates), matching the service and replicated backends.
+        """
+        entry = self.sessions.get(session_id)
+        if entry is None:
+            raise KeyError(
+                f"unknown or already-closed session {session_id!r}"
+            )
+        processor, owns_runtime = entry
+        try:
+            processor.close_session(session_id)
+        finally:
+            del self.sessions[session_id]
+            self._retired.absorb(processor)
+            if owns_runtime:
+                self.runtime_factory.release(session_id)
         return processor
 
     @property
@@ -147,42 +159,26 @@ class StandaloneBackend:
         """
         totals = {
             "lanes": len(self.sessions),
-            "outstanding": 0,
-            "jobs_materialized": self._retired_jobs,
-            "memo_hits": self._retired_memo_hits,
-            "memo_tokens_held": 0,
             "sessions_open": len(self.sessions),
             "sessions_opened": self.sessions_opened,
             "sessions_evicted": 0,
-            "active_pointer_peak": self._retired_pointer_peak,
-            "pointer_collapses": self._retired_collapses,
-            "hysteresis_suppressed": self._retired_suppressed,
+            **self._retired.seed_totals(),
         }
         for processor, _ in self.sessions.values():
-            stats = processor.backend_stats
-            for key in ("jobs_materialized", "memo_hits", "memo_tokens_held",
-                        "outstanding", "pointer_collapses",
-                        "hysteresis_suppressed"):
-                totals[key] += stats[key]
-            totals["active_pointer_peak"] = max(
-                totals["active_pointer_peak"], stats["active_pointer_peak"]
-            )
-        totals["memo_hit_rate"] = (
-            totals["memo_hits"] / totals["jobs_materialized"]
-            if totals["jobs_materialized"] else 0.0
-        )
-        return totals
+            fold_processor_stats(totals, processor.backend_stats)
+        return finish_totals(totals)
 
     def __len__(self):
         return len(self.sessions)
 
 
 #: The tracing-backend plugin point: name -> ``factory(config) ->
-#: TracingBackend``. The future replicated/multi-node backend registers
-#: here; client code keeps calling ``open_session(backend="<name>")``.
+#: TracingBackend``. Client code keeps calling
+#: ``open_session(backend="<name>")`` whichever deployment serves it.
 TRACING_BACKENDS = Registry("tracing backend", {
     "standalone": StandaloneBackend,
     "service": ApopheniaService,
+    "replicated": ReplicatedBackend,
 })
 
 

@@ -72,6 +72,13 @@ class SessionStats:
     quota_limit: Optional[int]
     quota_stalls: int
     evictions: int
+    # Replication gauges (Section 5.1 agreement protocol). Single-node
+    # backends report the no-coordinator defaults: 1 node, no waits, a
+    # zero margin, and an empty agreement table.
+    nodes: int = 1
+    coordinator_waits: int = 0
+    ingest_margin_ops: int = 0
+    agreement_table_size: int = 0
 
     @property
     def memo_hit_rate(self):
@@ -113,8 +120,18 @@ def collect_session_stats(handle, evictions=None, backend=None):
     if evictions is None:
         service = getattr(handle, "service", None)
         evictions = service.sessions_evicted if service is not None else 0
+    # A replicated handle carries the per-session coordinator; a bare
+    # processor running replicated carries its own reference.
+    coordinator = getattr(handle, "coordinator", None)
+    if coordinator is None:
+        coordinator = getattr(processor, "coordinator", None)
     if backend is None:
-        backend = "service" if shared is not None else "standalone"
+        if getattr(handle, "processors", None) is not None:
+            backend = "replicated"
+        elif shared is not None:
+            backend = "service"
+        else:
+            backend = "standalone"
     return SessionStats(
         session_id=getattr(handle, "session_id", None),
         backend=backend,
@@ -136,6 +153,12 @@ def collect_session_stats(handle, evictions=None, backend=None):
         ),
         quota_stalls=getattr(executor, "quota_stalls", 0),
         evictions=evictions,
+        nodes=getattr(handle, "num_nodes", 1),
+        coordinator_waits=coordinator.waits if coordinator else 0,
+        ingest_margin_ops=coordinator.margin_ops if coordinator else 0,
+        agreement_table_size=(
+            coordinator.agreement_table_size if coordinator else 0
+        ),
     )
 
 

@@ -18,6 +18,20 @@ deterministically without stalling.
 the collective communication a real implementation would use). Each node
 registers its job completion estimates; the coordinator hands out a single
 agreed ingest operation count per job index.
+
+Two production constraints shape the bookkeeping beyond the paper's
+description:
+
+* **Bounded state.** Agreements are consumed exactly once per node (a
+  node pops each mining job from its FIFO pending queue the first time
+  its clock passes the agreed point), so once every registered node has
+  :meth:`retire`-d a job its entry is pruned. Without pruning a
+  perpetually-running tenant leaks one table entry per mining job.
+* **Shared coordinators.** Several replicated sessions may share one
+  coordinator (one collective per deployment, not per tenant). Each
+  session numbers its own jobs from zero, so agreement keys are
+  namespaced by an opaque ``stream`` identity -- two streams with
+  identical job indices get independent agreements.
 """
 
 
@@ -31,26 +45,75 @@ class IngestCoordinator:
         results are ingested.
     growth_factor:
         Multiplier applied to the margin whenever any node had to wait.
+    num_nodes:
+        Number of replicated nodes consuming each agreement; entries are
+        pruned after that many :meth:`retire` calls. ``None`` (the
+        default) derives the count per stream from :meth:`register_node`
+        calls -- node processors register themselves at construction --
+        falling back to 1 when nothing registered (a private,
+        single-node coordinator). Per-stream derivation is what lets
+        sessions with *different* replica counts share one coordinator:
+        each stream's entries are pruned at its own node count.
     """
 
-    def __init__(self, initial_margin_ops=128, growth_factor=2.0):
+    def __init__(self, initial_margin_ops=128, growth_factor=2.0,
+                 num_nodes=None):
         self.margin_ops = initial_margin_ops
         self.growth_factor = growth_factor
-        # job_index -> agreed ingest op count (fixed at submission time).
+        self.num_nodes = num_nodes
+        self._registered = {}  # stream -> set of node ids
+        # (stream, job_index) -> agreed ingest op count (fixed at first ask).
         self._agreed = {}
+        # (stream, job_index) -> how many nodes consumed the agreement.
+        self._consumed = {}
         self.waits = 0
+        self.agreements_issued = 0
+        self.agreements_pruned = 0
 
-    def agree(self, job_index, submitted_at_op):
+    def node_count(self, stream=None):
+        """Nodes a stream's agreements must serve before pruning."""
+        if self.num_nodes is not None:
+            return self.num_nodes
+        nodes = self._registered.get(stream)
+        if nodes is None and stream is not None:
+            # Nodes registered without a stream identity (the legacy
+            # single-stream deployment) consume every stream.
+            nodes = self._registered.get(None)
+        return max(1, len(nodes)) if nodes else 1
+
+    def register_node(self, node_id, stream=None):
+        """Declare a consuming node (called by each node processor).
+
+        Registration must happen before any agreement is retired --
+        construction-time registration satisfies this, since replicated
+        deployments build every node processor before serving a task.
+        ``stream`` scopes the registration, so sessions with different
+        replica counts sharing one coordinator each prune at their own
+        node count.
+        """
+        self._registered.setdefault(stream, set()).add(node_id)
+
+    @property
+    def agreement_table_size(self):
+        """Live (issued, not yet fully consumed) agreement entries."""
+        return len(self._agreed)
+
+    def agree(self, job_index, submitted_at_op, stream=None):
         """Fix (or look up) the agreed ingest point for ``job_index``.
 
         All nodes submit job ``job_index`` at the same operation count (the
         sampling schedule is deterministic), so the first node to call this
         fixes the agreement and the rest observe the same value.
+        ``stream`` namespaces the key: sessions sharing a coordinator pass
+        their session identity so their independently numbered jobs cannot
+        collide.
         """
-        agreed = self._agreed.get(job_index)
+        key = (stream, job_index)
+        agreed = self._agreed.get(key)
         if agreed is None:
             agreed = submitted_at_op + self.margin_ops
-            self._agreed[job_index] = agreed
+            self._agreed[key] = agreed
+            self.agreements_issued += 1
         return agreed
 
     def report_wait(self, job_index, lateness_ops):
@@ -64,3 +127,42 @@ class IngestCoordinator:
         grown = int(self.margin_ops * self.growth_factor)
         self.margin_ops = max(needed, grown)
         return self.margin_ops
+
+    def retire(self, job_index, stream=None):
+        """One node consumed (ingested past) the agreement for ``job_index``.
+
+        Every node pops each job from its FIFO pending queue exactly once,
+        so counting consumptions against :attr:`node_count` tells the
+        coordinator when no node will ever ask about this job again -- at
+        which point the entry is pruned, keeping the agreement table
+        bounded by the number of in-flight jobs rather than growing one
+        entry per mining job for the life of the tenant.
+        """
+        key = (stream, job_index)
+        if key not in self._agreed:
+            return
+        consumed = self._consumed.get(key, 0) + 1
+        if consumed >= self.node_count(stream):
+            del self._agreed[key]
+            self._consumed.pop(key, None)
+            self.agreements_pruned += 1
+        else:
+            self._consumed[key] = consumed
+
+    def release_stream(self, stream):
+        """Drop a departed stream's agreements and node registration.
+
+        Closing a session discards its finder's pending jobs, so
+        agreements already fixed for still-pending heads would never
+        reach their consumption watermark -- on a coordinator shared
+        across sessions they would leak one entry per closed session.
+        Called by the serving backend at session teardown; returns the
+        number of entries dropped (not counted as pruned: they were
+        abandoned, not consumed).
+        """
+        stale = [key for key in self._agreed if key[0] == stream]
+        for key in stale:
+            del self._agreed[key]
+            self._consumed.pop(key, None)
+        self._registered.pop(stream, None)
+        return len(stale)

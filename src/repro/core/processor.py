@@ -126,6 +126,10 @@ class ApopheniaConfig:
         Completion model of asynchronous mining jobs, in operations.
     initial_ingest_margin_ops:
         Starting margin of the distributed ingestion agreement.
+    num_nodes:
+        Node count of the replicated deployment, read by
+        :class:`~repro.service.replicated.ReplicatedBackend` (every other
+        backend serves single-node sessions and ignores it).
     max_sessions / max_outstanding_jobs / shared_memo_capacity:
         Service-layer knobs, read by :class:`~repro.service.ApopheniaService`
         (a single processor ignores them): the session budget before LRU
@@ -160,6 +164,7 @@ class ApopheniaConfig:
     job_base_latency_ops: int = 50
     job_per_token_latency_ops: float = 0.05
     initial_ingest_margin_ops: int = 128
+    num_nodes: int = 2
     max_sessions: int = 64
     max_outstanding_jobs: int = 64
     shared_memo_capacity: int = 256
@@ -236,6 +241,8 @@ class ApopheniaConfig:
                 raise ValueError(f"{name} must be >= 0")
         if self.max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
         for name in ("shared_memo_token_budget", "lane_outstanding_quota"):
             value = getattr(self, name)
             if value is not None and value < 1:
@@ -270,7 +277,17 @@ class ApopheniaProcessor:
         This node's id under control replication.
     coordinator:
         Shared :class:`repro.core.coordination.IngestCoordinator` when
-        running replicated; ``None`` runs a private one.
+        running replicated; ``None`` gates ingestion on local completion
+        only. The processor registers its ``node_id`` with the
+        coordinator so agreement pruning knows how many nodes consume
+        each entry.
+    stream_key:
+        Identity namespacing this processor's agreement keys on a shared
+        coordinator. All N node replicas of one session pass the *same*
+        key (they must land on the same agreement entries), while
+        distinct sessions sharing a coordinator pass distinct keys so
+        their independently numbered jobs cannot collide. ``None`` (the
+        default) keeps the single-stream namespace.
     executor:
         An injected mining executor satisfying the
         :class:`~repro.core.jobs.JobExecutor` interface (``submit`` plus
@@ -283,11 +300,14 @@ class ApopheniaProcessor:
     backend_kind = "standalone"
 
     def __init__(self, runtime, config=None, node_id=0, coordinator=None,
-                 executor=None):
+                 executor=None, stream_key=None):
         self.runtime = runtime
         self.config = config or ApopheniaConfig()
         self.node_id = node_id
         self.coordinator = coordinator
+        self.stream_key = stream_key
+        if coordinator is not None:
+            coordinator.register_node(node_id, stream=stream_key)
         self.session_id = None  # bound by open_session (repro.api facade)
         runtime.auto_tracing = True  # launches now cost 12us, Section 6.3
 
@@ -330,7 +350,7 @@ class ApopheniaProcessor:
         job = self.finder.observe(token)
         del job  # submission is tracked by the finder's pending queue
         for done in self.finder.drain_completed(
-            self.finder.ops_observed, self.coordinator
+            self.finder.ops_observed, self.coordinator, stream=self.stream_key
         ):
             self.replayer.ingest(done.result)
         self.replayer.process(task, token)

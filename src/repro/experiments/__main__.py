@@ -8,13 +8,15 @@ Usage::
 
 Figures: fig6a fig6b fig7a fig7b fig8 fig9 fig10 sec63
 Extras (not paper figures): service (multi-tenant aggregate throughput),
-replayer (serving-path tokens/sec per match engine)
+replayer (serving-path tokens/sec per match engine), replication
+(Section 5.1 agreement-margin convergence on the replicated backend)
 """
 
 import sys
 
 from repro.experiments.multi_tenant import main as run_service_bench
 from repro.experiments.replayer_perf import main as run_replayer_bench
+from repro.experiments.replication_convergence import main as run_replication
 from repro.experiments.overheads import launch_overheads
 from repro.experiments.report import (
     format_speedups,
@@ -73,6 +75,7 @@ RUNNERS = {
     "sec63": run_sec63,
     "service": run_service_bench,
     "replayer": run_replayer_bench,
+    "replication": run_replication,
 }
 
 

@@ -2,20 +2,23 @@
 
 Under control replication the application runs on every node and all nodes
 must issue the *same* sequence of operations -- including Apophenia's trace
-begin/end decisions. This module runs N independent Apophenia+runtime
-instances in lockstep over one application stream, sharing a single
-:class:`~repro.core.coordination.IngestCoordinator`, and verifies that all
-nodes made identical tracing decisions.
+begin/end decisions. :class:`ReplicatedRun` is the research-harness face of
+that deployment: it opens one session on a
+:class:`~repro.service.replicated.ReplicatedBackend` -- the same N-replica
+session machinery the ``repro.api`` facade serves as
+``backend="replicated"`` -- and exposes the per-node processors, runtimes,
+and the shared :class:`~repro.core.coordination.IngestCoordinator` that the
+replication test suites poke directly.
 
 Each node's asynchronous analysis jobs complete at different simulated
 times (deterministic per-node jitter), so without the agreement protocol
-the nodes *would* diverge; the tests in ``tests/test_replication.py``
-demonstrate both directions.
+the nodes *would* diverge; the tests in ``tests/test_replication.py`` and
+``tests/test_replicated_backend.py`` demonstrate both directions.
 """
 
-from repro.core.coordination import IngestCoordinator
-from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.core.processor import ApopheniaConfig
 from repro.runtime.runtime import Runtime
+from repro.service.replicated import ReplicatedBackend
 
 
 class ReplicatedRun:
@@ -31,42 +34,32 @@ class ReplicatedRun:
         if num_nodes < 1:
             raise ValueError("need at least one node")
         self.config = config or ApopheniaConfig()
-        self.coordinator = coordinator or IngestCoordinator(
-            initial_margin_ops=self.config.initial_ingest_margin_ops
-        )
         factory = runtime_factory or (lambda node: Runtime(analysis_mode="fast"))
-        self.runtimes = [factory(node) for node in range(num_nodes)]
-        self.processors = [
-            ApopheniaProcessor(
-                self.runtimes[node],
-                config=self.config,
-                node_id=node,
-                coordinator=self.coordinator,
-            )
-            for node in range(num_nodes)
-        ]
+        self.backend = ReplicatedBackend(self.config, num_nodes=num_nodes)
+        self.handle = self.backend.open_session(
+            "replicated-run",
+            runtimes=[factory(node) for node in range(num_nodes)],
+            coordinator=coordinator,
+        )
+        self.coordinator = self.handle.coordinator
+        self.runtimes = self.handle.runtimes
+        self.processors = self.handle.processors
 
     def execute_task_factory(self, make_task):
         """Issue one logical task: ``make_task(node)`` builds each node's
         copy (nodes own distinct region forests, so tasks are rebuilt
         per node with identical structure)."""
-        for node, processor in enumerate(self.processors):
-            processor.execute_task(make_task(node))
+        self.handle.execute_task_factory(make_task)
 
     def set_iteration(self, iteration):
-        for processor in self.processors:
-            processor.set_iteration(iteration)
+        self.handle.set_iteration(iteration)
 
     def flush(self):
-        for processor in self.processors:
-            processor.flush()
+        self.handle.flush()
 
     def decisions_agree(self):
         """True if every node issued the identical trace sequence."""
-        reference = self.processors[0].decision_trace()
-        return all(
-            p.decision_trace() == reference for p in self.processors[1:]
-        )
+        return self.handle.decisions_agree()
 
     def decision_traces(self):
-        return [p.decision_trace() for p in self.processors]
+        return self.handle.decision_traces()

@@ -8,7 +8,11 @@ executors, memos, or schedulers:
   submit lanes, a priority/fair scheduler, a cross-session window memo,
   and an outstanding-job budget;
 * :mod:`repro.service.service` -- :class:`ApopheniaService`: session
-  admission, LRU eviction, and per-task routing.
+  admission, LRU eviction, and per-task routing;
+* :mod:`repro.service.replicated` -- :class:`ReplicatedBackend`: each
+  session served by N control-replicated node processors sharing one
+  per-session ingestion coordinator (Section 5.1), behind the same
+  :class:`repro.api.TracingBackend` surface.
 
 The whole layer is decision-neutral by construction: every session's
 tbegin/tend stream is byte-identical to running its application alone
@@ -17,10 +21,13 @@ tbegin/tend stream is byte-identical to running its application alone
 """
 
 from repro.service.executor import SessionLane, SharedJobExecutor
+from repro.service.replicated import ReplicatedBackend, ReplicatedSessionHandle
 from repro.service.service import ApopheniaService, SessionHandle
 
 __all__ = [
     "ApopheniaService",
+    "ReplicatedBackend",
+    "ReplicatedSessionHandle",
     "SessionHandle",
     "SessionLane",
     "SharedJobExecutor",

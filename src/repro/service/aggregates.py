@@ -1,0 +1,77 @@
+"""Shared ``backend_stats`` bookkeeping for pooled tracing backends.
+
+The standalone pool (:class:`repro.api.StandaloneBackend`) and the
+replicated backend (:class:`repro.service.replicated.ReplicatedBackend`)
+both aggregate per-processor counters the same way: lifetime counters of
+closed sessions are accumulated so ``backend_stats`` reports the same
+history a service's shared executor would (its aggregates survive
+``release_lane``), and open sessions' counters are folded on top --
+sums for the additive counters, a max for the pointer peak. Keeping the
+fold in one place means a counter added to one backend's stats shape
+cannot silently go missing from the other.
+"""
+
+#: Per-processor counters summed into the totals.
+SUMMED_KEYS = (
+    "jobs_materialized",
+    "memo_hits",
+    "memo_tokens_held",
+    "outstanding",
+    "pointer_collapses",
+    "hysteresis_suppressed",
+)
+
+
+class RetiredCounters:
+    """Lifetime counters of sessions a pooled backend has closed."""
+
+    __slots__ = ("jobs", "memo_hits", "pointer_peak", "collapses",
+                 "suppressed")
+
+    def __init__(self):
+        self.jobs = 0
+        self.memo_hits = 0
+        self.pointer_peak = 0
+        self.collapses = 0
+        self.suppressed = 0
+
+    def absorb(self, processor):
+        """Fold a closing session's processor into the lifetime record."""
+        self.jobs += processor.executor.jobs_submitted
+        self.memo_hits += processor.executor.memo_hits
+        replayer_stats = processor.replayer.stats
+        self.pointer_peak = max(
+            self.pointer_peak, replayer_stats.active_pointer_peak
+        )
+        self.collapses += replayer_stats.pointer_collapses
+        self.suppressed += replayer_stats.hysteresis_suppressed
+
+    def seed_totals(self):
+        """The retired share of a ``backend_stats`` totals dict."""
+        return {
+            "outstanding": 0,
+            "jobs_materialized": self.jobs,
+            "memo_hits": self.memo_hits,
+            "memo_tokens_held": 0,
+            "active_pointer_peak": self.pointer_peak,
+            "pointer_collapses": self.collapses,
+            "hysteresis_suppressed": self.suppressed,
+        }
+
+
+def fold_processor_stats(totals, stats):
+    """Fold one open session's ``processor.backend_stats`` into totals."""
+    for key in SUMMED_KEYS:
+        totals[key] += stats[key]
+    totals["active_pointer_peak"] = max(
+        totals["active_pointer_peak"], stats["active_pointer_peak"]
+    )
+
+
+def finish_totals(totals):
+    """Derive the rate fields; returns ``totals`` for chaining."""
+    totals["memo_hit_rate"] = (
+        totals["memo_hits"] / totals["jobs_materialized"]
+        if totals["jobs_materialized"] else 0.0
+    )
+    return totals

@@ -1,0 +1,415 @@
+"""The replicated tracing backend: N-node control replication as a service.
+
+The paper's Section 5.1 deployment runs the application under dynamic
+control replication: every node executes the whole program and must issue
+the *same* operation stream -- including Apophenia's ``tbegin``/``tend``
+decisions -- while each node's asynchronous mining jobs complete at
+different times. :class:`ReplicatedBackend` serves that deployment behind
+the :class:`repro.api.TracingBackend` protocol, so client code written
+against :func:`repro.api.open_session` runs unchanged on one node, on a
+shared multi-tenant service, or control-replicated across N nodes::
+
+    with api.open_session("sim", backend="replicated",
+                          num_nodes=4) as session:
+        session.submit(task)        # issued on every node replica
+        ...
+        session.stats().coordinator_waits
+
+Each session is a full N-way replica set:
+
+* N :class:`~repro.core.processor.ApopheniaProcessor` node replicas, one
+  per node id, each fronting its own runtime stamped out by the
+  :class:`~repro.runtime.session.RuntimeSessionFactory` (node replicas own
+  distinct region forests, exactly as real nodes own distinct Legion
+  instances);
+* one per-session :class:`~repro.core.coordination.IngestCoordinator`
+  carrying the agreement protocol, with agreement keys namespaced by the
+  session id (:attr:`~repro.core.processor.ApopheniaProcessor.stream_key`)
+  so a deployment-wide coordinator could serve several sessions without
+  job-index collisions;
+* one per-session :class:`~repro.core.jobs.MiningMemo` shared by the N
+  node executors -- nodes mine byte-identical windows (the token stream is
+  replicated), so one node's analysis answers the other N-1 for free,
+  which is safe for exactly the reason the multi-tenant memo is: results
+  are pure functions of ``(window, min_length)``.
+
+``submit`` issues the task to every node replica in node order; per-node
+completion jitter (:func:`repro.core.jobs.completion_op`) gives the
+agreement protocol real skew to resolve, and
+:meth:`ReplicatedSessionHandle.decisions_agree` checks the invariant the
+protocol exists for. The facade-visible surface -- ``submit`` /
+``set_iteration`` / ``flush`` / ``stats`` / ``snapshot`` -- reports node
+0, the reference replica.
+"""
+
+from repro.core.coordination import IngestCoordinator
+from repro.core.jobs import JobExecutor, MiningMemo
+from repro.core.processor import (
+    ApopheniaConfig,
+    ApopheniaProcessor,
+    _resolve_repeats_algorithm,
+)
+from repro.runtime.session import RuntimeSessionFactory
+from repro.service.aggregates import (
+    RetiredCounters,
+    finish_totals,
+    fold_processor_stats,
+)
+
+
+def _node_key(session_id, node_id):
+    """Runtime-factory key of one node replica's runtime."""
+    return f"{session_id}@node{node_id}"
+
+
+class ReplicatedSessionHandle:
+    """One session's N-node replica set.
+
+    Satisfies the session-handle shape the :mod:`repro.api` facade binds
+    (``execute_task`` / ``set_iteration`` / ``flush`` / ``stats`` /
+    ``decision_trace``), reporting node 0 as the reference replica, and
+    adds the replication-specific surface: ``processors`` / ``runtimes``
+    per node, the shared ``coordinator``, ``decisions_agree()``, and
+    ``execute_task_factory`` for applications whose nodes must build
+    their own task copies against their own region forests.
+    """
+
+    __slots__ = (
+        "session_id",
+        "backend",
+        "processors",
+        "runtimes",
+        "coordinator",
+        "owns_runtimes",
+        "closed",
+    )
+
+    def __init__(self, session_id, backend, processors, runtimes,
+                 coordinator, owns_runtimes):
+        self.session_id = session_id
+        self.backend = backend
+        self.processors = processors
+        self.runtimes = runtimes
+        self.coordinator = coordinator
+        self.owns_runtimes = owns_runtimes
+        self.closed = False
+
+    @property
+    def num_nodes(self):
+        return len(self.processors)
+
+    # ------------------------------------------------------------------
+    # Serving (the facade surface)
+    # ------------------------------------------------------------------
+    def execute_task(self, task):
+        """Issue one logical task on every node replica, in node order.
+
+        Control replication means every node sees the same stream; the
+        runtimes run in ``fast`` analysis mode, so sharing one
+        :class:`~repro.runtime.task.Task` object across replicas is safe
+        (the same sharing the facade parity suites rely on). Applications
+        whose nodes must own their task copies use
+        :meth:`execute_task_factory`.
+        """
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        for processor in self.processors:
+            processor.execute_task(task)
+
+    def execute_task_factory(self, make_task):
+        """Issue one logical task with per-node copies:
+        ``make_task(node)`` builds node ``node``'s structurally identical
+        task against that node's own region forest."""
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        for node, processor in enumerate(self.processors):
+            processor.execute_task(make_task(node))
+
+    def set_iteration(self, iteration):
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        for processor in self.processors:
+            processor.set_iteration(iteration)
+
+    def flush(self):
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        for processor in self.processors:
+            processor.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def processor(self):
+        """Node 0, the reference replica the facade reports."""
+        return self.processors[0]
+
+    @property
+    def runtime(self):
+        return self.runtimes[0]
+
+    @property
+    def stats(self):
+        """Node 0's :class:`~repro.core.replayer.ReplayerStats`."""
+        return self.processors[0].stats
+
+    def decision_trace(self):
+        return self.processors[0].decision_trace()
+
+    def decision_traces(self):
+        return [p.decision_trace() for p in self.processors]
+
+    def decisions_agree(self):
+        """True if every node issued the identical trace sequence."""
+        reference = self.processors[0].decision_trace()
+        return all(
+            p.decision_trace() == reference for p in self.processors[1:]
+        )
+
+    def __repr__(self):
+        state = "closed" if self.closed else "open"
+        return (
+            f"ReplicatedSessionHandle({self.session_id!r}, "
+            f"nodes={self.num_nodes}, {state})"
+        )
+
+
+class ReplicatedBackend:
+    """Serves sessions on N control-replicated node processors.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.core.processor.ApopheniaConfig`; ``num_nodes``
+        picks the replica count (overridable per session via a
+        session-level config) and ``initial_ingest_margin_ops`` seeds
+        each session's agreement protocol.
+    runtime_factory:
+        :class:`~repro.runtime.session.RuntimeSessionFactory` stamping
+        out one runtime per node replica (keys ``<session>@node<j>``).
+    num_nodes:
+        Replica count override for sessions opened without their own
+        config; defaults to ``config.num_nodes``.
+    coordinate:
+        ``False`` disables the agreement protocol -- every node ingests
+        at its own completion times, which *diverges* under per-node
+        jitter. Exists so tests and demos can show the protocol doing
+        real work; production sessions always coordinate.
+    """
+
+    #: :class:`repro.api.TracingBackend` discriminator.
+    backend_kind = "replicated"
+
+    def __init__(self, config=None, runtime_factory=None, num_nodes=None,
+                 coordinate=True):
+        self.config = config or ApopheniaConfig()
+        if num_nodes is not None:
+            # Rebase the config so every consumer -- per-session config
+            # layering included -- sees the backend's replica count; a
+            # bare attribute would be silently dropped the moment a
+            # session layered an unrelated override onto the config.
+            self.config = self.config.with_overrides(num_nodes=num_nodes)
+        self.num_nodes = self.config.num_nodes
+        if self.num_nodes < 1:
+            raise ValueError("need at least one node")
+        self.coordinate = coordinate
+        # Explicit None check: an empty factory is falsy (it has __len__).
+        self.runtime_factory = (
+            runtime_factory if runtime_factory is not None
+            else RuntimeSessionFactory()
+        )
+        self.sessions = {}  # session_id -> ReplicatedSessionHandle
+        self.sessions_opened = 0
+        # Lifetime counters of closed sessions (see StandaloneBackend).
+        self._retired = RetiredCounters()
+        self._retired_waits = 0
+        self._retired_pruned = 0
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(self, session_id, runtime=None, config=None, node_id=0,
+                     priority=0, runtimes=None, coordinator=None):
+        """Admit a session served by N node replicas.
+
+        ``config`` overrides the per-session configuration, including
+        ``num_nodes``. The backend assigns node ids 0..N-1 itself, so
+        ``node_id`` must be 0 (the protocol default), and per-node
+        runtimes are stamped from the runtime factory -- a single
+        caller-owned ``runtime`` cannot serve N replicas. ``runtimes``
+        injects one caller-owned runtime per node (the replication
+        harness uses this); ``coordinator`` injects a shared agreement
+        object for deployments running one collective across sessions.
+        """
+        if session_id in self.sessions:
+            raise ValueError(f"session {session_id!r} already open")
+        if runtime is not None:
+            raise ValueError(
+                "replicated sessions own one runtime per node replica; "
+                "pass runtimes=[...] (one per node) instead of runtime="
+            )
+        del priority  # nothing is shared between sessions, nothing to rank
+        cfg = config or self.config
+        nodes = cfg.num_nodes if config is not None else self.num_nodes
+        if node_id != 0:
+            raise ValueError(
+                f"the replicated backend assigns node ids 0..{nodes - 1} "
+                f"itself; got node_id={node_id}"
+            )
+        if runtimes is not None and len(runtimes) != nodes:
+            raise ValueError(
+                f"got {len(runtimes)} runtimes for {nodes} nodes"
+            )
+        if coordinator is None:
+            if self.coordinate:
+                coordinator = IngestCoordinator(
+                    initial_margin_ops=cfg.initial_ingest_margin_ops,
+                    num_nodes=nodes,
+                )
+        elif (coordinator.num_nodes is not None
+                and coordinator.num_nodes != nodes):
+            # A fixed consumer count that disagrees with the replica set
+            # would prune agreements early (late nodes re-agree at a
+            # possibly grown margin: divergence) or never (leak). Shared
+            # coordinators serving mixed replica counts leave num_nodes
+            # unset and rely on per-stream node registration instead.
+            raise ValueError(
+                f"coordinator expects {coordinator.num_nodes} consumers "
+                f"per agreement but the session runs {nodes} nodes"
+            )
+        owns_runtimes = runtimes is None
+        if owns_runtimes:
+            runtimes = [
+                self.runtime_factory.create(_node_key(session_id, node)).runtime
+                for node in range(nodes)
+            ]
+        # One resolution of the mining algorithm (and one REPRO_SA_BACKEND
+        # read) for the whole replica set, and one shared per-session memo:
+        # replicas mine byte-identical windows, so node 0's analysis
+        # answers nodes 1..N-1 -- decision-neutral because results are
+        # pure functions of the window.
+        algorithm = _resolve_repeats_algorithm(
+            cfg.repeats_algorithm, cfg.sa_backend
+        )
+        memo = (
+            MiningMemo(cfg.mining_memo_capacity)
+            if cfg.mining_memo_capacity else None
+        )
+        processors = []
+        for node in range(nodes):
+            processor = ApopheniaProcessor(
+                runtimes[node],
+                cfg,
+                node_id=node,
+                coordinator=coordinator,
+                stream_key=session_id,
+                executor=JobExecutor(
+                    repeats_algorithm=algorithm,
+                    base_latency_ops=cfg.job_base_latency_ops,
+                    per_token_latency_ops=cfg.job_per_token_latency_ops,
+                    node_id=node,
+                    # memo_capacity rides along for the memo=None case:
+                    # a config that disables the memo must not fall back
+                    # to a private default-capacity cache per node.
+                    memo_capacity=cfg.mining_memo_capacity,
+                    memo=memo,
+                ),
+            )
+            if owns_runtimes:
+                self.runtime_factory.bind_processor(
+                    _node_key(session_id, node), processor
+                )
+            processors.append(processor)
+        processors[0].open_session(session_id)
+        handle = ReplicatedSessionHandle(
+            session_id, self, processors, runtimes, coordinator,
+            owns_runtimes,
+        )
+        self.sessions[session_id] = handle
+        self.sessions_opened += 1
+        return handle
+
+    def close_session(self, session_id):
+        """Flush every replica and retire the session; exception-safe.
+
+        The replica set, factory-owned runtimes, and the handle's closed
+        mark are torn down even when a flush raises (the error still
+        propagates), so a failing tenant cannot leak its N runtimes.
+        """
+        handle = self.sessions.get(session_id)
+        if handle is None:
+            raise KeyError(
+                f"unknown or already-closed replicated session "
+                f"{session_id!r}"
+            )
+        try:
+            handle.flush()
+        finally:
+            del self.sessions[session_id]
+            self._retire_counters(handle)
+            if handle.coordinator is not None:
+                # Pending-head agreements die with the session's finders;
+                # on a shared coordinator they would otherwise never
+                # reach their consumption watermark.
+                handle.coordinator.release_stream(session_id)
+            if handle.owns_runtimes:
+                for node in range(handle.num_nodes):
+                    self.runtime_factory.release(_node_key(session_id, node))
+            handle.closed = True
+        return handle
+
+    def _retire_counters(self, handle):
+        self._retired.absorb(handle.processors[0])
+        if handle.coordinator is not None:
+            self._retired_waits += handle.coordinator.waits
+            self._retired_pruned += handle.coordinator.agreements_pruned
+
+    def session(self, session_id):
+        return self.sessions[session_id]
+
+    def __len__(self):
+        return len(self.sessions)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend_stats(self):
+        """Node-0 executor/replayer counters plus coordinator gauges.
+
+        Shaped like the other backends' (so ``backend_stats`` consumers
+        are deployment-agnostic), with the replication extras on top:
+        ``nodes`` (replicas across open sessions), ``coordinator_waits``
+        / ``agreements_pruned`` (lifetime sums, closed sessions
+        included), ``ingest_margin_ops`` (worst current margin) and
+        ``agreement_entries`` (live agreement-table entries, the gauge
+        the pruning satellite bounds).
+        """
+        totals = {
+            "lanes": len(self.sessions),
+            "nodes": 0,
+            "sessions_open": len(self.sessions),
+            "sessions_opened": self.sessions_opened,
+            "sessions_evicted": 0,
+            "coordinator_waits": self._retired_waits,
+            "agreements_pruned": self._retired_pruned,
+            "ingest_margin_ops": 0,
+            "agreement_entries": 0,
+            **self._retired.seed_totals(),
+        }
+        for handle in self.sessions.values():
+            totals["nodes"] += handle.num_nodes
+            fold_processor_stats(totals, handle.processors[0].backend_stats)
+            coordinator = handle.coordinator
+            if coordinator is not None:
+                totals["coordinator_waits"] += coordinator.waits
+                totals["agreements_pruned"] += coordinator.agreements_pruned
+                totals["ingest_margin_ops"] = max(
+                    totals["ingest_margin_ops"], coordinator.margin_ops
+                )
+                totals["agreement_entries"] += coordinator.agreement_table_size
+        return finish_totals(totals)
+
+
+__all__ = ["ReplicatedBackend", "ReplicatedSessionHandle"]

@@ -71,10 +71,24 @@ class SessionHandle:
         self.service.execute_task(self.session_id, task)
 
     def set_iteration(self, iteration):
-        self.processor.set_iteration(iteration)
+        """Advance the session's iteration; routed like ``execute_task``.
+
+        Routing matters (``service.execute_task`` documents why): a
+        handle call that bypassed the service would neither refresh the
+        LRU stamp nor pump the shared scheduler, so an iteration-heavy
+        tenant would look idle and get evicted while actively serving.
+        """
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        self.service.set_iteration(self.session_id, iteration)
 
     def flush(self):
-        self.processor.flush()
+        """Drain the session's buffered tasks; routed like
+        ``execute_task`` (LRU stamp + scheduler pump), so a
+        flush-heavy tenant stays visibly active."""
+        if self.closed:
+            raise RuntimeError(f"session {self.session_id!r} is closed")
+        self.service.flush(self.session_id)
 
     @property
     def stats(self):
@@ -175,13 +189,29 @@ class ApopheniaService:
         return session
 
     def close_session(self, session_id):
-        """Flush and retire a session; returns its handle for inspection."""
-        session = self.sessions.pop(session_id)
-        session.flush()
-        self.executor.release_lane(session_id)
-        if session.owns_runtime:
-            self.runtime_factory.release(session_id)
-        session.closed = True
+        """Flush and retire a session; returns its handle for inspection.
+
+        Teardown is exception-safe: the lane, the factory-owned runtime,
+        and the handle's closed mark are released even when the flush
+        raises (the error still propagates), so a failing tenant cannot
+        leak service resources or leave a half-closed handle behind.
+        """
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise KeyError(
+                f"unknown or already-closed session {session_id!r}"
+            )
+        try:
+            # The processor directly, not the routed handle.flush():
+            # teardown must not touch LRU stamps or pump other tenants'
+            # work into a lane that is about to be released.
+            session.processor.flush()
+        finally:
+            del self.sessions[session_id]
+            self.executor.release_lane(session_id)
+            if session.owns_runtime:
+                self.runtime_factory.release(session_id)
+            session.closed = True
         return session
 
     def _evict_lru(self):
@@ -207,21 +237,45 @@ class ApopheniaService:
         hot path -- it adds one dict lookup, one counter bump, and one
         queue check on top of what a standalone processor pays.
         """
-        session = self.sessions[session_id]
-        self._tick += 1
-        session.last_used = self._tick
+        session = self._touch(session_id)
         session.processor.execute_task(task)
-        executor = self.executor
-        if executor.outstanding:
-            executor.pump()
+        self._pump()
 
     def set_iteration(self, session_id, iteration):
-        self.sessions[session_id].set_iteration(iteration)
+        """Advance a session's iteration; same routing as
+        ``execute_task`` (LRU stamp + scheduler pump)."""
+        session = self._touch(session_id)
+        session.processor.set_iteration(iteration)
+        self._pump()
+
+    def flush(self, session_id):
+        """Drain one session's buffered tasks; same routing as
+        ``execute_task`` (LRU stamp + scheduler pump)."""
+        session = self._touch(session_id)
+        session.processor.flush()
+        self._pump()
 
     def flush_all(self):
         """Flush every open session (end of run, or a global fence)."""
         for session in self.sessions.values():
-            session.flush()
+            session.processor.flush()
+        self._pump()
+
+    def _touch(self, session_id):
+        """Look up a session and refresh its LRU stamp. Every serving
+        entry point routes through here: the stamp is what keeps an
+        active tenant -- whatever mix of submits, flushes, and iteration
+        marks it issues -- off the eviction block."""
+        session = self.sessions[session_id]
+        self._tick += 1
+        session.last_used = self._tick
+        return session
+
+    def _pump(self):
+        """Let the shared scheduler drain queued mining work, if any."""
+        executor = self.executor
+        if executor.outstanding:
+            executor.pump()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -216,6 +216,24 @@ class TestSessionLifecycle:
         b.close()
         assert len(backend) == 0
 
+    def test_standalone_close_session_exception_safe(self, monkeypatch):
+        """Pool teardown must release the entry and factory runtime even
+        when the closing flush raises (mirrors the service fix)."""
+        backend = StandaloneBackend(FAST_CONFIG)
+        session = open_session("crashy", backend=backend)
+
+        def boom(session_id=None):
+            raise RuntimeError("flush failed")
+
+        monkeypatch.setattr(session.processor, "close_session", boom)
+        with pytest.raises(RuntimeError, match="flush failed"):
+            backend.close_session("crashy")
+        assert len(backend) == 0
+        assert len(backend.runtime_factory) == 0
+        backend.open_session("crashy")  # the id is immediately reusable
+        with pytest.raises(KeyError, match="unknown or already-closed"):
+            backend.close_session("never-opened")
+
     def test_standalone_backend_stats_survive_session_close(self):
         """Lifetime counters must not vanish with the session, matching
         the service backend whose shared-executor aggregates persist."""
@@ -257,11 +275,15 @@ class TestSessionLifecycle:
             pass
 
     def test_tracing_backend_protocol_conformance(self):
-        for cls in (ApopheniaProcessor, ApopheniaService, StandaloneBackend):
+        from repro.api import ReplicatedBackend
+
+        for cls in (ApopheniaProcessor, ApopheniaService, StandaloneBackend,
+                    ReplicatedBackend):
             for member in ("backend_kind", "open_session", "close_session",
                            "backend_stats"):
                 assert hasattr(cls, member), (cls, member)
-        assert set(TRACING_BACKENDS) == {"standalone", "service"}
+        assert set(TRACING_BACKENDS) == {"standalone", "service",
+                                         "replicated"}
 
 
 class TestConfigBuilder:

@@ -39,6 +39,7 @@ REPRO_API_ALL = [
     "ENV_PREFIX",
     "PROFILES",
     "PROFILE_ENV_VAR",
+    "ReplicatedBackend",
     "Session",
     "SessionSnapshot",
     "SessionStats",

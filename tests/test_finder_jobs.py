@@ -225,3 +225,84 @@ class TestIngestCoordinator:
         # The last several jobs never waited.
         tail_agreed = c.agree(100, 0)
         assert tail_agreed >= latency
+
+    def test_agreement_table_pruned_after_all_nodes_consume(self):
+        """Regression: agreements used to live forever -- one dict entry
+        per mining job for the life of the tenant."""
+        c = IngestCoordinator(initial_margin_ops=10, num_nodes=2)
+        for job in range(50):
+            c.agree(job, job * 100)
+            c.retire(job)  # node 0 ingested
+            assert c.agreement_table_size == 1  # node 1 still owes a pop
+            c.retire(job)  # node 1 ingested: entry pruned
+            assert c.agreement_table_size == 0
+        assert c.agreements_issued == 50
+        assert c.agreements_pruned == 50
+
+    def test_retire_of_unknown_agreement_is_harmless(self):
+        c = IngestCoordinator(num_nodes=2)
+        c.retire(7)  # never agreed: no-op, no KeyError
+        assert c.agreement_table_size == 0
+        assert c.agreements_pruned == 0
+
+    def test_node_registration_sets_prune_watermark(self):
+        """Without an explicit num_nodes the consumer count comes from
+        construction-time node registration (what node processors do)."""
+        c = IngestCoordinator(initial_margin_ops=10)
+        assert c.node_count() == 1  # nothing registered: private coordinator
+        c.register_node(0)
+        c.register_node(1)
+        c.register_node(1)  # idempotent
+        assert c.node_count() == 2
+        c.agree(0, 100)
+        c.retire(0)
+        assert c.agreement_table_size == 1
+        c.retire(0)
+        assert c.agreement_table_size == 0
+
+    def test_per_stream_registration_prunes_at_each_streams_count(self):
+        """Sessions with different replica counts sharing a coordinator:
+        each stream prunes at its own registered node count."""
+        c = IngestCoordinator(initial_margin_ops=10)
+        for node in range(3):
+            c.register_node(node, stream="big")
+        c.register_node(0, stream="small")
+        assert c.node_count("big") == 3
+        assert c.node_count("small") == 1
+        c.agree(0, 100, stream="big")
+        c.agree(0, 100, stream="small")
+        c.retire(0, stream="small")  # small's single node consumed
+        assert c.agreement_table_size == 1
+        c.retire(0, stream="big")
+        c.retire(0, stream="big")
+        assert c.agreement_table_size == 1  # big still owes one pop
+        c.retire(0, stream="big")
+        assert c.agreement_table_size == 0
+        # Stream-less registration (legacy single stream) covers streams
+        # that never registered explicitly.
+        d = IngestCoordinator()
+        d.register_node(0)
+        d.register_node(1)
+        assert d.node_count("anything") == 2
+
+    def test_streams_get_independent_agreements(self):
+        """Two sessions sharing a coordinator number their own jobs from
+        zero; the stream namespace keeps job 0 from colliding."""
+        c = IngestCoordinator(initial_margin_ops=100)
+        assert c.agree(0, 50, stream="lane-a") == 150
+        assert c.agree(0, 900, stream="lane-b") == 1000  # not 150
+        assert c.agree(0, 50, stream="lane-a") == 150  # still sticky
+        assert c.agreement_table_size == 2
+
+    def test_finder_drain_retires_consumed_agreements(self):
+        ex = JobExecutor(base_latency_ops=5, per_token_latency_ops=0.0)
+        c = IngestCoordinator(initial_margin_ops=50, num_nodes=1)
+        finder = TraceFinder(ex, batchsize=40, multi_scale_factor=10,
+                             min_trace_length=1)
+        for i in range(200):
+            finder.observe(i % 4)
+            finder.drain_completed(finder.ops_observed, c, stream="s")
+        assert c.agreements_issued > 3
+        # Every issued agreement this single node consumed was pruned.
+        assert c.agreements_pruned >= c.agreements_issued - 1
+        assert c.agreement_table_size <= 1

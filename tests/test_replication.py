@@ -8,6 +8,8 @@ from repro.runtime.privilege import Privilege
 from repro.runtime.replication import ReplicatedRun
 from repro.runtime.task import task
 
+pytestmark = pytest.mark.replication
+
 RO = Privilege.READ_ONLY
 WD = Privilege.WRITE_DISCARD
 

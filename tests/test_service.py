@@ -148,6 +148,85 @@ class TestSessionLifecycle:
         assert handle.stats.tasks_seen == 10
         assert handle.stats.tasks_flushed + handle.stats.tasks_traced == 10
 
+    def test_close_unknown_session_raises_clear_error(self):
+        service = ApopheniaService(FAST_CONFIG)
+        with pytest.raises(KeyError, match="unknown or already-closed"):
+            service.close_session("never-opened")
+        service.open_session("a")
+        service.close_session("a")
+        with pytest.raises(KeyError, match="unknown or already-closed"):
+            service.close_session("a")  # double close: same clear error
+
+    def test_close_session_exception_safe(self, monkeypatch):
+        """Regression: close used to pop the session before flushing, so
+        a raising flush leaked the lane and the factory-owned runtime and
+        never marked the handle closed."""
+        factory = RuntimeSessionFactory()
+        service = ApopheniaService(FAST_CONFIG, runtime_factory=factory)
+        handle = service.open_session("crashy")
+
+        def boom():
+            raise RuntimeError("flush failed")
+
+        monkeypatch.setattr(handle.processor, "flush", boom)
+        with pytest.raises(RuntimeError, match="flush failed"):
+            service.close_session("crashy")
+        # The flush error propagated, but nothing leaked: no session, no
+        # lane, no runtime handle, and the handle knows it is closed.
+        assert handle.closed
+        assert "crashy" not in service.sessions
+        assert "crashy" not in service.executor.lanes
+        assert "crashy" not in factory.handles
+        service.open_session("crashy")  # the id is immediately reusable
+
+
+class TestServingPathRouting:
+    """``flush`` and ``set_iteration`` must route through the service
+    exactly like ``execute_task``: LRU stamp plus scheduler pump.
+    Before the fix a flush/iteration-heavy tenant looked idle and was
+    evicted despite being active."""
+
+    def test_handle_flush_refreshes_lru_stamp(self):
+        from repro.runtime.task import Task
+
+        service = ApopheniaService(FAST_CONFIG.with_overrides(max_sessions=2))
+        a = service.open_session("a")
+        service.open_session("b")
+        service.execute_task("b", Task("T"))  # b is now hotter than a
+        a.flush()  # a is an active (flush-heavy) tenant
+        service.open_session("c")
+        # The eviction victim must be b -- a flushed more recently.
+        assert set(service.sessions) == {"a", "c"}
+
+    def test_handle_set_iteration_refreshes_lru_stamp(self):
+        from repro.runtime.task import Task
+
+        service = ApopheniaService(FAST_CONFIG.with_overrides(max_sessions=2))
+        a = service.open_session("a")
+        service.open_session("b")
+        service.execute_task("b", Task("T"))
+        a.set_iteration(17)  # iteration marks count as activity too
+        service.open_session("c")
+        assert set(service.sessions) == {"a", "c"}
+
+    def test_handle_flush_pumps_shared_scheduler(self):
+        service = ApopheniaService(FAST_CONFIG)
+        a = service.open_session("a")
+        job = a.lane.submit([1, 2] * 6, 2, now_op=0)
+        assert service.executor.outstanding == 1
+        a.flush()
+        assert service.executor.outstanding == 0
+        assert job.materialized
+
+    def test_closed_handle_rejects_flush_and_set_iteration(self):
+        service = ApopheniaService(FAST_CONFIG)
+        handle = service.open_session("a")
+        service.close_session("a")
+        with pytest.raises(RuntimeError, match="closed"):
+            handle.flush()
+        with pytest.raises(RuntimeError, match="closed"):
+            handle.set_iteration(3)
+
 
 class TestSharedExecutor:
     def _counting(self, log):
