@@ -1,6 +1,6 @@
 # Convenience targets; see ROADMAP.md for the canonical commands.
 
-.PHONY: verify verify-full test bench service-bench replayer-bench api-check
+.PHONY: verify verify-full verify-chaos test bench service-bench replayer-bench api-check
 
 ## Tier-1 tests plus the perf_smoke guards (the pre-commit check).
 verify:
@@ -9,6 +9,10 @@ verify:
 ## Everything, benchmarks included.
 verify-full:
 	VERIFY_FULL=1 bash scripts/verify.sh
+
+## The fault-injection / graceful-degradation suites on their own.
+verify-chaos:
+	PYTHONPATH=src python -m pytest -x -q -m faults tests
 
 test:
 	PYTHONPATH=src python -m pytest -x -q tests

@@ -1,9 +1,10 @@
 """Client-API quickstart: one session lifecycle, any deployment.
 
-The same tiny iterative application is served three times through
+The same tiny iterative application is served four times through
 ``repro.api.open_session`` -- by a standalone processor, as a tenant of
-a shared multi-tenant service, and control-replicated across three
-nodes -- with *identical client code* between the runs. The facade
+a shared multi-tenant service, control-replicated across three nodes,
+and under a seeded fault-injection plan -- with *identical client code*
+between the runs. The facade
 guarantees the standalone and service decisions are byte-identical (the
 service only changes throughput, never decisions), which the final
 assertion checks via ``Session.snapshot()``; the replicated run instead
@@ -15,7 +16,9 @@ Also shown: named configuration profiles with keyword overrides
 (``build_config``), and the uniform ``SessionStats`` surface that
 replaces reaching into processor internals -- including the coordinator
 gauges (waits, ingestion margin, agreement-table size) the replicated
-backend surfaces.
+backend surfaces, and the degradation gauges (mining failures, degraded
+jobs, deadline overruns, quarantine, live nodes) a fourth run under a
+seeded chaos fault plan exercises.
 
 Run:  python examples/api_quickstart.py
 """
@@ -75,8 +78,22 @@ def main():
         replicated_stats, _ = drive(session)
         nodes_agree = session.handle.decisions_agree()
 
+    # Deployment 4: the same application under a seeded chaos plan --
+    # deterministic injected mining failures and deadline overruns.
+    # Mining is advisory, so the session degrades gracefully (failed
+    # analyses become "no repeats found") instead of crashing; the
+    # degradation gauges on the same uniform stats surface say how much
+    # fault containment the run absorbed.
+    with api.open_session(
+        "chaos", config=CONFIG.with_overrides(
+            fault_plan="seed=1234,mining_failure_rate=0.2,"
+                       "mining_overrun_rate=0.1",
+        ),
+    ) as session:
+        chaos_stats, _ = drive(session)
+
     print(f"API quickstart: {ITERATIONS} iterations x 3 tasks, "
-          "served three ways")
+          "served four ways")
     for label, stats in (("standalone", solo_stats),
                          ("service", service_stats)):
         print(f"  {label:10s} replay fraction: {stats.replay_fraction:6.1%}  "
@@ -99,6 +116,19 @@ def main():
           f"waits: {replicated_stats.coordinator_waits}  "
           f"margin: 10 -> {replicated_stats.ingest_margin_ops} ops  "
           f"live agreements: {replicated_stats.agreement_table_size}")
+
+    # The chaos deployment: graceful degradation under injected faults.
+    print(f"  {'chaos':10s} replay fraction: "
+          f"{chaos_stats.replay_fraction:6.1%}  "
+          f"mining failures: {chaos_stats.mining_failures}  "
+          f"degraded jobs: {chaos_stats.degraded_jobs}  "
+          f"overruns: {chaos_stats.deadline_overruns}  "
+          f"quarantined: {chaos_stats.quarantined}  "
+          f"live nodes: {chaos_stats.live_nodes}")
+    assert chaos_stats.mining_failures > 0  # the plan actually fired
+    assert chaos_stats.tasks_seen == (
+        chaos_stats.tasks_flushed + chaos_stats.tasks_traced
+    ), "degraded sessions must conserve every task"
 
     # The deployment-agnosticism contract: identical decisions.
     assert solo_snapshot.decisions == service_snapshot.decisions, (

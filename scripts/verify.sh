@@ -26,9 +26,17 @@ python -m pytest -x -q -m api tests/test_api_surface.py
 echo "== replication suite"
 python -m pytest -x -q -m replication tests
 
+# Chaos: the fault-injection / graceful-degradation suites (seeded fault
+# plans, lane quarantine, replica drops, the fault-free-tenant
+# byte-identity property). Already part of tests/ above; this step gives
+# robustness regressions their own unmistakable step name.
+echo "== chaos (fault injection) suite"
+python -m pytest -x -q -m faults tests
+
 # Fast floors over the two perf-tracked hot paths: suffix-array backend
 # equivalence (tests/) and the replayer match-engine speedup
-# (benchmarks/test_perf_replayer.py::test_perf_replayer_smoke).
+# (benchmarks/test_perf_replayer.py::test_perf_replayer_smoke), plus the
+# null-fault-plan hook-overhead guard (benchmarks/test_perf_faults.py).
 echo "== perf_smoke guards"
 python -m pytest -x -q -m perf_smoke
 

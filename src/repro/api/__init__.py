@@ -47,6 +47,8 @@ from repro.api.session import (
 )
 from repro.api.stats import SessionStats, collect_session_stats
 from repro.core.processor import ApopheniaConfig
+from repro.errors import SessionClosedError
+from repro.faults import FaultPlan, NullFaultPlan
 from repro.service.replicated import ReplicatedBackend
 from repro.service.service import ApopheniaService
 
@@ -60,12 +62,14 @@ def registries():
     """
     from repro.apps.base import APP_REGISTRY
     from repro.core.sa_backends import BACKENDS
+    from repro.faults import FAULT_PLANS
 
     return {
         "tracing_backends": TRACING_BACKENDS,
         "config_profiles": PROFILES,
         "sa_backends": BACKENDS,
         "apps": APP_REGISTRY,
+        "fault_plans": FAULT_PLANS,
     }
 
 
@@ -74,10 +78,13 @@ __all__ = [
     "ApopheniaService",
     "DEFAULT_PROFILE",
     "ENV_PREFIX",
+    "FaultPlan",
+    "NullFaultPlan",
     "PROFILES",
     "PROFILE_ENV_VAR",
     "ReplicatedBackend",
     "Session",
+    "SessionClosedError",
     "SessionSnapshot",
     "SessionStats",
     "StandaloneBackend",

@@ -43,6 +43,7 @@ from typing import Protocol, runtime_checkable
 from repro.api.config import build_config, env_overrides, validate_config
 from repro.api.stats import collect_session_stats
 from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.errors import SessionClosedError
 from repro.registry import Registry
 from repro.runtime.session import RuntimeSessionFactory
 from repro.service.aggregates import (
@@ -136,8 +137,9 @@ class StandaloneBackend:
         """
         entry = self.sessions.get(session_id)
         if entry is None:
-            raise KeyError(
-                f"unknown or already-closed session {session_id!r}"
+            raise SessionClosedError(
+                session_id,
+                f"unknown or already-closed session {session_id!r}",
             )
         processor, owns_runtime = entry
         try:
@@ -278,11 +280,25 @@ class Session:
         self.owns_backend = owns_backend
         self.closed = False
 
+    def _check_open(self):
+        """Raise :class:`SessionClosedError` if this facade is closed.
+
+        The backends guard their own handles; this guard covers the
+        facade's closed mark too, so ``submit``/``flush``/``stats`` after
+        ``close()`` fail with the session key whichever side closed
+        first (backend-evicted handles would otherwise surface a bare
+        ``KeyError`` from the backend's session table, or worse, silently
+        read stats off a flushed processor the caller thinks is live).
+        """
+        if self.closed:
+            raise SessionClosedError(self.session_id)
+
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def submit(self, task):
         """Issue one task through the session's tracing pipeline."""
+        self._check_open()
         self.handle.execute_task(task)
 
     #: Alias so a :class:`Session` is a drop-in executor anywhere an
@@ -291,10 +307,12 @@ class Session:
     execute_task = submit
 
     def set_iteration(self, iteration):
+        self._check_open()
         self.handle.set_iteration(iteration)
 
     def flush(self):
         """Drain all buffered tasks (program end, or a fence)."""
+        self._check_open()
         self.handle.flush()
 
     # ------------------------------------------------------------------
@@ -302,15 +320,18 @@ class Session:
     # ------------------------------------------------------------------
     def stats(self):
         """The uniform :class:`~repro.api.stats.SessionStats` snapshot."""
+        self._check_open()
         return collect_session_stats(
             self.handle, backend=self.backend.backend_kind
         )
 
     def snapshot(self):
         """Deterministic :class:`SessionSnapshot` of all decisions."""
+        self._check_open()
         return SessionSnapshot.of(self.handle, self.backend.backend_kind)
 
     def decision_trace(self):
+        self._check_open()
         return self.handle.decision_trace()
 
     @property
@@ -416,6 +437,7 @@ def open_session(session_id=None, *, backend="standalone", config=None,
 
 __all__ = [
     "Session",
+    "SessionClosedError",
     "SessionSnapshot",
     "StandaloneBackend",
     "TRACING_BACKENDS",

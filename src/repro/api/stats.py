@@ -79,6 +79,16 @@ class SessionStats:
     coordinator_waits: int = 0
     ingest_margin_ops: int = 0
     agreement_table_size: int = 0
+    # Degradation gauges (fault containment / graceful degradation):
+    # contained mining failures, jobs resolved to the empty degraded
+    # result, soft-deadline overruns, whether the session's lane is
+    # currently quarantined, and how many replicas are still serving
+    # (== nodes unless a replica dropped).
+    mining_failures: int = 0
+    degraded_jobs: int = 0
+    deadline_overruns: int = 0
+    quarantined: bool = False
+    live_nodes: int = 1
 
     @property
     def memo_hit_rate(self):
@@ -158,6 +168,13 @@ def collect_session_stats(handle, evictions=None, backend=None):
         ingest_margin_ops=coordinator.margin_ops if coordinator else 0,
         agreement_table_size=(
             coordinator.agreement_table_size if coordinator else 0
+        ),
+        mining_failures=getattr(executor, "mining_failures", 0),
+        degraded_jobs=getattr(executor, "degraded_jobs", 0),
+        deadline_overruns=getattr(executor, "deadline_overruns", 0),
+        quarantined=bool(getattr(executor, "quarantined", False)),
+        live_nodes=getattr(
+            handle, "live_nodes", getattr(handle, "num_nodes", 1)
         ),
     )
 

@@ -61,25 +61,37 @@ class IngestCoordinator:
         self.margin_ops = initial_margin_ops
         self.growth_factor = growth_factor
         self.num_nodes = num_nodes
-        self._registered = {}  # stream -> set of node ids
+        self._registered = {}  # stream -> set of live node ids
         # (stream, job_index) -> agreed ingest op count (fixed at first ask).
         self._agreed = {}
-        # (stream, job_index) -> how many nodes consumed the agreement.
+        # (stream, job_index) -> set of consumer identities. Nodes that
+        # pass their id to retire() are tracked exactly; anonymous
+        # retires get unique placeholder tokens, preserving the legacy
+        # count-based semantics.
         self._consumed = {}
+        self._dropped = {}  # stream -> set of dead node ids
         self.waits = 0
         self.agreements_issued = 0
         self.agreements_pruned = 0
+        self.nodes_dropped = 0
 
     def node_count(self, stream=None):
         """Nodes a stream's agreements must serve before pruning."""
         if self.num_nodes is not None:
-            return self.num_nodes
+            dropped = self._dropped.get(stream)
+            alive = self.num_nodes - (len(dropped) if dropped else 0)
+            return max(1, alive)
+        nodes = self._live_nodes(stream)
+        return max(1, len(nodes)) if nodes else 1
+
+    def _live_nodes(self, stream):
+        """Registered (still-live) node ids consuming ``stream``."""
         nodes = self._registered.get(stream)
         if nodes is None and stream is not None:
             # Nodes registered without a stream identity (the legacy
             # single-stream deployment) consume every stream.
             nodes = self._registered.get(None)
-        return max(1, len(nodes)) if nodes else 1
+        return nodes
 
     def register_node(self, node_id, stream=None):
         """Declare a consuming node (called by each node processor).
@@ -128,26 +140,66 @@ class IngestCoordinator:
         self.margin_ops = max(needed, grown)
         return self.margin_ops
 
-    def retire(self, job_index, stream=None):
+    def retire(self, job_index, stream=None, node=None):
         """One node consumed (ingested past) the agreement for ``job_index``.
 
         Every node pops each job from its FIFO pending queue exactly once,
-        so counting consumptions against :attr:`node_count` tells the
+        so tracking consumptions against the live node set tells the
         coordinator when no node will ever ask about this job again -- at
         which point the entry is pruned, keeping the agreement table
         bounded by the number of in-flight jobs rather than growing one
         entry per mining job for the life of the tenant.
+
+        ``node`` identifies the consumer; node processors pass their id.
+        Identified consumers make pruning exact under :meth:`drop_node`:
+        an entry is pruned only once every *live* node consumed it, so a
+        dead node's earlier retires cannot prune an entry a surviving
+        node still needs (re-agreeing after the margin grew would make
+        the survivor ingest at a different point: divergence).
+        Anonymous retires fall back to the legacy consumption count.
         """
         key = (stream, job_index)
         if key not in self._agreed:
             return
-        consumed = self._consumed.get(key, 0) + 1
-        if consumed >= self.node_count(stream):
-            del self._agreed[key]
-            self._consumed.pop(key, None)
-            self.agreements_pruned += 1
+        consumed = self._consumed.setdefault(key, set())
+        consumed.add(node if node is not None else ("anon", len(consumed)))
+        self._maybe_prune(key)
+
+    def _maybe_prune(self, key):
+        stream = key[0]
+        consumed = self._consumed.get(key)
+        if not consumed:
+            return
+        live = self._live_nodes(stream)
+        if live is not None and all(
+            not isinstance(token, tuple) for token in consumed
+        ):
+            done = live <= consumed
         else:
-            self._consumed[key] = consumed
+            done = len(consumed) >= self.node_count(stream)
+        if done:
+            del self._agreed[key]
+            del self._consumed[key]
+            self.agreements_pruned += 1
+
+    def drop_node(self, node_id, stream=None):
+        """A replica died mid-run: stop counting it as a consumer.
+
+        Unregisters the node from the stream's live set (reusing the
+        :meth:`release_stream` bookkeeping at node granularity) and
+        re-examines the stream's outstanding agreements -- entries only
+        the dead node had yet to consume become prunable immediately.
+        Returns the number of entries pruned by the drop.
+        """
+        nodes = self._registered.get(stream)
+        if nodes is not None:
+            nodes.discard(node_id)
+        self._dropped.setdefault(stream, set()).add(node_id)
+        self.nodes_dropped += 1
+        before = self.agreements_pruned
+        for key in [k for k in self._agreed if k[0] == stream]:
+            self._maybe_prune(key)
+        return self.agreements_pruned - before
 
     def release_stream(self, stream):
         """Drop a departed stream's agreements and node registration.
@@ -165,4 +217,5 @@ class IngestCoordinator:
             del self._agreed[key]
             self._consumed.pop(key, None)
         self._registered.pop(stream, None)
+        self._dropped.pop(stream, None)
         return len(stale)

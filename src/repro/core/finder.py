@@ -88,7 +88,8 @@ class TraceFinder:
             return self.batchsize
         return None
 
-    def drain_completed(self, now_op, coordinator=None, stream=None):
+    def drain_completed(self, now_op, coordinator=None, stream=None,
+                        node=None):
         """Yield jobs whose agreed ingestion point has been reached.
 
         Jobs are drained in submission order (FIFO), matching the
@@ -96,7 +97,9 @@ class TraceFinder:
         coordinator is supplied, its agreed ingest point gates each job
         and late jobs report a wait (growing the margin); ``stream`` is
         the session/stream identity namespacing the agreement keys on a
-        shared coordinator. Popping a job consumes its agreement
+        shared coordinator, and ``node`` identifies this consumer so
+        the coordinator's pruning stays exact when a replica drops out.
+        Popping a job consumes its agreement
         (:meth:`~repro.core.coordination.IngestCoordinator.retire`), so
         the coordinator can prune entries every node has ingested past.
         """
@@ -117,5 +120,5 @@ class TraceFinder:
                 break
             ready.append(self.pending_jobs.popleft())
             if coordinator is not None:
-                coordinator.retire(job.job_id, stream=stream)
+                coordinator.retire(job.job_id, stream=stream, node=node)
         return ready

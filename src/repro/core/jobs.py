@@ -25,6 +25,13 @@ import itertools
 from collections import OrderedDict
 
 from repro.core.repeats import find_repeats
+from repro.faults import (
+    NULL_FAULT_PLAN,
+    CircuitBreaker,
+    InjectedMiningFault,
+    MiningFault,
+    resolve_fault_plan,
+)
 
 #: Sentinel for a job whose mining work has not run yet.
 _UNMINED = object()
@@ -50,23 +57,31 @@ def completion_op(now_op, num_tokens, base_latency_ops, per_token_latency_ops,
 
 
 class AnalysisJob:
-    """One asynchronous mining job over a slice of the history buffer."""
+    """One asynchronous mining job over a slice of the history buffer.
+
+    ``degraded`` marks a job whose mining work failed (or was skipped by
+    a quarantine/deadline): its result is the empty no-repeats value --
+    valid input for the replayer, because mining is advisory -- and must
+    never be memoized as the true analysis of its window.
+    """
 
     __slots__ = (
         "job_id",
         "submitted_at_op",
         "completes_at_op",
         "num_tokens",
+        "degraded",
         "_result",
         "_materialize",
     )
 
     def __init__(self, job_id, submitted_at_op, completes_at_op, num_tokens,
-                 result=_UNMINED, materialize=None):
+                 result=_UNMINED, materialize=None, degraded=False):
         self.job_id = job_id
         self.submitted_at_op = submitted_at_op
         self.completes_at_op = completes_at_op
         self.num_tokens = num_tokens
+        self.degraded = degraded
         self._result = result
         self._materialize = materialize
 
@@ -82,8 +97,9 @@ class AnalysisJob:
         """True once the mining work for this job has actually run."""
         return self._result is not _UNMINED
 
-    def _fulfill(self, result):
+    def _fulfill(self, result, degraded=False):
         self._result = result
+        self.degraded = degraded
         self._materialize = None
 
     def complete_by(self, op_count):
@@ -223,6 +239,23 @@ class JobExecutor:
         An externally owned :class:`MiningMemo` to use instead of a private
         one -- this is how replicated nodes or service tenants share one
         cache. When given, ``memo_capacity`` is ignored.
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` (or spec string / ``None``)
+        injecting deterministic mining faults; the default null plan
+        costs one attribute check per submit.
+    stream_key:
+        Stream identity the fault plan keys its decisions on. Replicated
+        node executors of one session pass the same key, so all replicas
+        fail identically (injected faults stay decision-neutral across
+        the replica set).
+    deadline_tokens:
+        Soft per-job deadline, in window tokens: a window larger than
+        this degrades to the empty result instead of running (a stand-in
+        for wall-clock mining budgets). ``None`` disables it.
+    quarantine_threshold:
+        Consecutive-failure threshold of the executor's
+        :class:`~repro.faults.CircuitBreaker`; ``None``/0 disables
+        quarantine (failures are still contained and counted).
     """
 
     def __init__(
@@ -234,6 +267,10 @@ class JobExecutor:
         memo_capacity=8,
         memo_token_budget=None,
         memo=None,
+        fault_plan=None,
+        stream_key=None,
+        deadline_tokens=None,
+        quarantine_threshold=None,
     ):
         self.repeats_algorithm = repeats_algorithm
         self.base_latency_ops = base_latency_ops
@@ -246,10 +283,24 @@ class JobExecutor:
             self.memo = MiningMemo(memo_capacity, token_budget=memo_token_budget)
         else:
             self.memo = None
+        self.fault_plan = (
+            resolve_fault_plan(fault_plan) if fault_plan is not None
+            else NULL_FAULT_PLAN
+        )
+        self.stream_key = stream_key
+        self.deadline_tokens = deadline_tokens
+        self.breaker = CircuitBreaker(quarantine_threshold)
         self._ids = itertools.count()
         self.jobs_submitted = 0
         self.tokens_analyzed = 0
         self.memo_hits = 0
+        self.mining_failures = 0
+        self.degraded_jobs = 0
+        self.deadline_overruns = 0
+
+    @property
+    def quarantined(self):
+        return self.breaker.quarantined
 
     def _mine(self, tokens, min_length):
         """Run the repeat finder, reusing a memoized identical window."""
@@ -260,10 +311,62 @@ class JobExecutor:
             self.memo_hits += 1
         return result
 
+    def _mine_contained(self, tokens, min_length, fault):
+        """Run mining with fault containment; returns ``(result, degraded)``.
+
+        Mining is advisory, so every failure path resolves to the empty
+        no-repeats result instead of propagating. The memo is only
+        touched by the successful :meth:`_mine` call, so a degraded
+        result can never poison it (failed analyses must not answer
+        other callers' identical windows).
+        """
+        if (self.deadline_tokens is not None
+                and len(tokens) > self.deadline_tokens):
+            # Soft deadline: a pathological window degrades instead of
+            # stalling. Deliberately not a breaker failure -- the stream
+            # is healthy, this window is just over budget.
+            self.deadline_overruns += 1
+            self.degraded_jobs += 1
+            return [], True
+        breaker = self.breaker
+        if not breaker.allow():
+            self.degraded_jobs += 1
+            return [], True
+        try:
+            if fault is not None:
+                if fault.kind == MiningFault.RAISE:
+                    raise InjectedMiningFault(
+                        f"injected mining failure (stream="
+                        f"{self.stream_key!r}, node={self.node_id})"
+                    )
+                if fault.kind == MiningFault.OVERRUN:
+                    self.deadline_overruns += 1
+                    raise InjectedMiningFault(
+                        f"injected deadline overrun (stream="
+                        f"{self.stream_key!r}, node={self.node_id})"
+                    )
+            result = self._mine(tokens, min_length)
+        except Exception:
+            self.mining_failures += 1
+            self.degraded_jobs += 1
+            breaker.record_failure()
+            return [], True
+        breaker.record_success()
+        return result, False
+
     def submit(self, tokens, min_length, now_op):
         """Submit a mining job; returns the :class:`AnalysisJob`."""
         job_id = next(self._ids)
-        result = self._mine(tokens, min_length)
+        plan = self.fault_plan
+        fault = (
+            plan.mining_fault(self.stream_key, job_id) if plan.active
+            else None
+        )
+        result, degraded = self._mine_contained(tokens, min_length, fault)
+        delay = (
+            fault.delay_ops
+            if fault is not None and fault.kind == MiningFault.DELAY else 0
+        )
         job = AnalysisJob(
             job_id,
             now_op,
@@ -274,9 +377,10 @@ class JobExecutor:
                 self.per_token_latency_ops,
                 self.node_id,
                 job_id,
-            ),
+            ) + delay,
             len(tokens),
             result,
+            degraded=degraded,
         )
         self.jobs_submitted += 1
         self.tokens_analyzed += len(tokens)

@@ -146,6 +146,22 @@ class ApopheniaConfig:
         the shared executor; a tenant bursting past it drains its own
         oldest work instead of consuming the global budget. ``None``
         disables the quota.
+    fault_plan:
+        Fault injection schedule: ``None`` (no faults, the production
+        default), a :class:`repro.faults.FaultPlan`-shaped object, or a
+        spec string (see :func:`repro.faults.parse_fault_spec`) -- the
+        string form is what the ``REPRO_FAULT_PLAN`` environment
+        variable carries through :func:`repro.api.build_config`.
+    mining_deadline_tokens:
+        Soft per-job mining deadline, in window tokens: a larger window
+        degrades to the empty (no-repeats) result instead of running,
+        bounding the time any single analysis can hold a worker.
+        ``None`` disables the deadline.
+    fault_quarantine_threshold:
+        Consecutive mining failures before a session's lane/executor is
+        quarantined (pass-through tracing, no mining, exponential
+        backoff re-probes). ``None``/0 disables quarantine; failures
+        are still contained per job and counted.
     """
 
     min_trace_length: int = 5
@@ -170,6 +186,9 @@ class ApopheniaConfig:
     shared_memo_capacity: int = 256
     shared_memo_token_budget: Optional[int] = None
     lane_outstanding_quota: Optional[int] = None
+    fault_plan: object = None
+    mining_deadline_tokens: Optional[int] = None
+    fault_quarantine_threshold: Optional[int] = 8
 
     def with_overrides(self, **kwargs):
         return replace(self, **kwargs)
@@ -243,10 +262,17 @@ class ApopheniaConfig:
             raise ValueError(f"max_sessions must be >= 1, got {self.max_sessions}")
         if self.num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
-        for name in ("shared_memo_token_budget", "lane_outstanding_quota"):
+        for name in ("shared_memo_token_budget", "lane_outstanding_quota",
+                     "mining_deadline_tokens", "fault_quarantine_threshold"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be None or >= 1, got {value}")
+        if self.fault_plan is not None:
+            from repro.faults import resolve_fault_plan
+
+            # Raises ValueError naming the bad spec/object; the resolved
+            # plan is discarded -- executors resolve at construction.
+            resolve_fault_plan(self.fault_plan)
         return self
 
     def scoring_policy(self):
@@ -320,6 +346,10 @@ class ApopheniaProcessor:
             per_token_latency_ops=self.config.job_per_token_latency_ops,
             node_id=node_id,
             memo_capacity=self.config.mining_memo_capacity,
+            fault_plan=self.config.fault_plan,
+            stream_key=stream_key,
+            deadline_tokens=self.config.mining_deadline_tokens,
+            quarantine_threshold=self.config.fault_quarantine_threshold,
         )
         self.finder = TraceFinder(
             self.executor,
@@ -350,7 +380,8 @@ class ApopheniaProcessor:
         job = self.finder.observe(token)
         del job  # submission is tracked by the finder's pending queue
         for done in self.finder.drain_completed(
-            self.finder.ops_observed, self.coordinator, stream=self.stream_key
+            self.finder.ops_observed, self.coordinator,
+            stream=self.stream_key, node=self.node_id,
         ):
             self.replayer.ingest(done.result)
         self.replayer.process(task, token)
@@ -451,6 +482,11 @@ class ApopheniaProcessor:
             "active_pointer_peak": replayer_stats.active_pointer_peak,
             "pointer_collapses": replayer_stats.pointer_collapses,
             "hysteresis_suppressed": replayer_stats.hysteresis_suppressed,
+            # Degradation gauges (fault containment / quarantine).
+            "mining_failures": getattr(executor, "mining_failures", 0),
+            "degraded_jobs": getattr(executor, "degraded_jobs", 0),
+            "deadline_overruns": getattr(executor, "deadline_overruns", 0),
+            "quarantined": 1 if getattr(executor, "quarantined", False) else 0,
         }
 
     # ------------------------------------------------------------------

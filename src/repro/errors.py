@@ -1,0 +1,33 @@
+"""Cross-layer client-facing exceptions.
+
+Runtime-substrate errors (trace mismatches, capture violations) live in
+:mod:`repro.runtime.errors`; this module holds the exceptions the serving
+layers share, so a backend and the :mod:`repro.api` facade raise the same
+type for the same misuse.
+"""
+
+
+class SessionClosedError(KeyError, RuntimeError):
+    """An operation was attempted on a closed (or unknown) session.
+
+    Subclasses both ``KeyError`` and ``RuntimeError``: historically the
+    backends raised ``KeyError("unknown or already-closed ...")`` from
+    id-addressed paths (close/double-close) and ``RuntimeError("session
+    ... is closed")`` from handle-addressed ones (submit/flush on a
+    closed handle). Existing callers catching either keep working; new
+    code catches this one type and reads :attr:`session_id`.
+    """
+
+    def __init__(self, session_id, message=None):
+        self.session_id = session_id
+        super().__init__(
+            message if message is not None
+            else f"session {session_id!r} is closed"
+        )
+
+    # KeyError.__str__ reprs its argument (quotes-in-quotes); plain
+    # Exception formatting reads better and matches RegistryError.
+    __str__ = Exception.__str__
+
+
+__all__ = ["SessionClosedError"]

@@ -1,0 +1,405 @@
+"""Deterministic fault injection for the mining/serving/replication stack.
+
+Apophenia's robustness contract follows from the paper's design: trace
+mining is *advisory*. A mining job that fails or overruns its deadline is
+semantically identical to "no repeats found in this window" -- the
+correct degraded behavior is a valid, merely untraced task stream, never
+a crash and never corrupted shared state. This module provides the
+machinery that makes the contract testable:
+
+* :class:`FaultPlan` -- a seedable, fully deterministic schedule of
+  injected faults (mining exceptions, simulated deadline overruns,
+  delayed completions, replica-node drops). Determinism is the point:
+  a chaos run with the same plan and the same stream injects the same
+  faults, so degraded runs are reproducible and fault-free tenants can
+  be byte-compared against their no-fault runs.
+* :class:`NullFaultPlan` -- the production default. Its ``active``
+  attribute is ``False``, so every hook on the hot path costs one
+  attribute check and a branch.
+* :class:`CircuitBreaker` -- the per-lane/per-executor quarantine state
+  machine: ``threshold`` consecutive mining failures trip it, a tripped
+  breaker serves pass-through (degraded) results without mining, and an
+  exponential-backoff probe schedule re-admits mining once the fault
+  clears.
+
+Plans flow through :class:`~repro.core.processor.ApopheniaConfig`
+(``fault_plan``), which accepts a plan object or a compact spec string
+(see :func:`parse_fault_spec`) so the ``REPRO_FAULT_PLAN`` environment
+variable can configure chaos runs without code changes.
+"""
+
+import zlib
+
+from repro.registry import Registry
+
+_MASK64 = (1 << 64) - 1
+
+#: Probe backoff is capped so a permanently faulty tenant still gets
+#: probed at a bounded (if long) interval rather than never again.
+MAX_PROBE_BACKOFF = 1024
+
+
+class InjectedMiningFault(RuntimeError):
+    """The exception an injected ``raise`` fault throws inside mining."""
+
+
+class MiningFault:
+    """One injected mining fault: what should go wrong with this job."""
+
+    __slots__ = ("kind", "delay_ops")
+
+    #: An exception is raised from inside the mining algorithm.
+    RAISE = "raise"
+    #: The job blows its soft deadline (simulated pathological window).
+    OVERRUN = "overrun"
+    #: The job succeeds but completes ``delay_ops`` operations late.
+    DELAY = "delay"
+
+    def __init__(self, kind, delay_ops=0):
+        self.kind = kind
+        self.delay_ops = delay_ops
+
+    def __repr__(self):
+        if self.kind == self.DELAY:
+            return f"MiningFault(delay, +{self.delay_ops} ops)"
+        return f"MiningFault({self.kind})"
+
+
+class NullFaultPlan:
+    """The no-fault plan: production paths pay one attribute check.
+
+    Every injection site is gated on ``plan.active`` before calling any
+    method, so the null plan's methods exist only for callers that skip
+    the gate (tests, tooling).
+    """
+
+    active = False
+    has_node_drops = False
+
+    def mining_fault(self, stream, job_seq):
+        return None
+
+    def should_drop_node(self, stream, node_id, at_op):
+        return False
+
+    def __repr__(self):
+        return "NullFaultPlan()"
+
+
+#: Shared default instance (the plan is stateless).
+NULL_FAULT_PLAN = NullFaultPlan()
+
+
+def _stream_hash(stream):
+    """Stable 32-bit identity of a stream key.
+
+    Deliberately *not* Python's ``hash(str)``, which is randomized per
+    process: fault schedules must be identical across processes (and
+    across the node replicas of one session) for the same seed.
+    """
+    if stream is None:
+        return 0
+    return zlib.crc32(repr(stream).encode("utf-8"))
+
+
+def _mix(seed, stream_h, job_seq):
+    """SplitMix64-style mix of (seed, stream, job) into a u64."""
+    x = (
+        seed * 0x9E3779B97F4A7C15
+        + stream_h * 0xBF58476D1CE4E5B9
+        + job_seq * 0x94D049BB133111EB
+        + 0x2545F4914F6CDD1D
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+class FaultPlan:
+    """A deterministic, seedable schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Root of all randomized decisions. Two plans with equal
+        parameters inject identical faults for the same
+        ``(stream, job_seq)`` pairs -- in particular, the N node
+        replicas of one replicated session (which share a stream key)
+        fail *identically*, which is what keeps injected faults
+        decision-neutral across the replica set.
+    mining_failure_rate / mining_overrun_rate / mining_delay_rate:
+        Independent-per-job probabilities (summed, must stay <= 1) of
+        raising from the mining algorithm, overrunning the soft
+        deadline, and completing ``mining_delay_ops`` late.
+    fail_jobs:
+        Optional ``(lo, hi)`` half-open window of per-stream job
+        sequence numbers that *always* raise -- the deterministic burst
+        the quarantine tests use to trip and then recover a breaker.
+    drop_nodes:
+        Iterable of ``(node_id, at_op)`` pairs: replica ``node_id``
+        dies once the session's op clock reaches ``at_op``.
+    streams:
+        Optional collection of stream keys the plan applies to;
+        ``None`` applies to every stream. Scoping faults to a subset of
+        tenants is how the chaos property test checks that fault-free
+        tenants stay byte-identical.
+    """
+
+    active = True
+
+    def __init__(self, seed=0, mining_failure_rate=0.0,
+                 mining_overrun_rate=0.0, mining_delay_rate=0.0,
+                 mining_delay_ops=100, fail_jobs=None, drop_nodes=(),
+                 streams=None):
+        total = mining_failure_rate + mining_overrun_rate + mining_delay_rate
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(
+                f"fault rates must sum to within [0, 1], got {total}"
+            )
+        if mining_delay_ops < 0:
+            raise ValueError(
+                f"mining_delay_ops must be >= 0, got {mining_delay_ops}"
+            )
+        if fail_jobs is not None:
+            lo, hi = fail_jobs
+            if lo < 0 or hi < lo:
+                raise ValueError(f"bad fail_jobs window {fail_jobs!r}")
+        self.seed = seed
+        self.mining_failure_rate = mining_failure_rate
+        self.mining_overrun_rate = mining_overrun_rate
+        self.mining_delay_rate = mining_delay_rate
+        self.mining_delay_ops = mining_delay_ops
+        self.fail_jobs = tuple(fail_jobs) if fail_jobs is not None else None
+        self.drop_nodes = tuple(tuple(pair) for pair in drop_nodes)
+        self.streams = frozenset(streams) if streams is not None else None
+
+    @property
+    def has_node_drops(self):
+        return bool(self.drop_nodes)
+
+    def applies_to(self, stream):
+        return self.streams is None or stream in self.streams
+
+    def mining_fault(self, stream, job_seq):
+        """The fault injected into job ``job_seq`` of ``stream``, if any.
+
+        A pure function: callers may consult it at submit time, record
+        the answer, and apply it when the mining work actually runs
+        (lazy service lanes do exactly that), without the answer
+        depending on scheduling order.
+        """
+        if not self.applies_to(stream):
+            return None
+        if self.fail_jobs is not None:
+            lo, hi = self.fail_jobs
+            if lo <= job_seq < hi:
+                return MiningFault(MiningFault.RAISE)
+        u = _mix(self.seed, _stream_hash(stream), job_seq) / 2.0 ** 64
+        if u < self.mining_failure_rate:
+            return MiningFault(MiningFault.RAISE)
+        u -= self.mining_failure_rate
+        if u < self.mining_overrun_rate:
+            return MiningFault(MiningFault.OVERRUN)
+        u -= self.mining_overrun_rate
+        if u < self.mining_delay_rate:
+            return MiningFault(MiningFault.DELAY, self.mining_delay_ops)
+        return None
+
+    def should_drop_node(self, stream, node_id, at_op):
+        """True once replica ``node_id`` is scheduled to die at ``at_op``."""
+        if not self.applies_to(stream):
+            return False
+        for node, op in self.drop_nodes:
+            if node == node_id and at_op >= op:
+                return True
+        return False
+
+    def __repr__(self):
+        parts = [f"seed={self.seed}"]
+        for name in ("mining_failure_rate", "mining_overrun_rate",
+                     "mining_delay_rate"):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={value}")
+        if self.fail_jobs is not None:
+            parts.append(f"fail_jobs={self.fail_jobs}")
+        if self.drop_nodes:
+            parts.append(f"drop_nodes={self.drop_nodes}")
+        if self.streams is not None:
+            parts.append(f"streams={sorted(map(repr, self.streams))}")
+        return f"FaultPlan({', '.join(parts)})"
+
+
+def parse_fault_spec(text):
+    """Parse the compact ``REPRO_FAULT_PLAN`` spec string into a plan.
+
+    Format: comma-separated ``key=value`` pairs over the
+    :class:`FaultPlan` parameters, with three compound spellings::
+
+        "seed=7,mining_failure_rate=0.1"
+        "fail_jobs=3:9"                  # half-open job-seq window
+        "drop_nodes=1@500+2@800"         # node 1 dies at op 500, ...
+        "streams=tenant-a+tenant-b"      # plan scoped to these streams
+
+    ``"null"`` / ``"none"`` / ``""`` name the :data:`NULL_FAULT_PLAN`.
+    """
+    text = text.strip()
+    if text.lower() in ("", "null", "none", "off"):
+        return NULL_FAULT_PLAN
+    kwargs = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"bad fault spec item {item!r} (expected key=value)"
+            )
+        key, _, raw = item.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        try:
+            if key in ("seed", "mining_delay_ops"):
+                kwargs[key] = int(raw)
+            elif key in ("mining_failure_rate", "mining_overrun_rate",
+                         "mining_delay_rate"):
+                kwargs[key] = float(raw)
+            elif key == "fail_jobs":
+                lo, _, hi = raw.partition(":")
+                kwargs[key] = (int(lo), int(hi))
+            elif key == "drop_nodes":
+                pairs = []
+                for part in raw.split("+"):
+                    node, _, op = part.partition("@")
+                    pairs.append((int(node), int(op)))
+                kwargs[key] = tuple(pairs)
+            elif key == "streams":
+                kwargs[key] = tuple(raw.split("+"))
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        except ValueError as exc:
+            raise ValueError(
+                f"bad fault spec {text!r}: {exc}"
+            ) from None
+    return FaultPlan(**kwargs)
+
+
+def resolve_fault_plan(plan):
+    """Coerce a config-level ``fault_plan`` value into a plan object.
+
+    Accepts ``None`` (the null plan), a spec string
+    (:func:`parse_fault_spec` -- the ``REPRO_FAULT_PLAN`` path), or any
+    object already exposing the plan interface (``active`` plus
+    ``mining_fault``).
+    """
+    if plan is None:
+        return NULL_FAULT_PLAN
+    if isinstance(plan, str):
+        return parse_fault_spec(plan)
+    if hasattr(plan, "active") and hasattr(plan, "mining_fault"):
+        return plan
+    raise ValueError(
+        f"fault_plan must be None, a spec string, or a FaultPlan-shaped "
+        f"object; got {plan!r}"
+    )
+
+
+#: The fault-plan plugin point, surfaced by ``repro.api.registries()``.
+FAULT_PLANS = Registry("fault plan", {
+    "null": NullFaultPlan,
+    "seeded": FaultPlan,
+})
+
+
+class CircuitBreaker:
+    """Consecutive-failure quarantine with exponential-backoff probes.
+
+    State machine (per lane / per executor):
+
+    * **healthy** -- mining runs normally; ``threshold`` *consecutive*
+      failures trip the breaker (any success resets the streak).
+    * **quarantined** -- :meth:`allow` answers ``False`` (the lane
+      serves degraded pass-through results) for ``backoff`` calls, then
+      admits exactly one **probe** job.
+    * a successful probe recovers the breaker to healthy; a failed
+      probe re-quarantines with the backoff doubled (capped at
+      :data:`MAX_PROBE_BACKOFF`).
+
+    ``threshold=None`` (or 0) disables the breaker: :meth:`allow` is
+    always ``True`` and failures are only counted.
+    """
+
+    __slots__ = ("threshold", "consecutive_failures", "quarantined",
+                 "probing", "backoff", "backoff_remaining", "trips",
+                 "probes", "recoveries")
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.consecutive_failures = 0
+        self.quarantined = False
+        self.probing = False
+        self.backoff = 0
+        self.backoff_remaining = 0
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+
+    def allow(self):
+        """May the next mining job actually run? Call once per job."""
+        if not self.quarantined:
+            return True
+        if self.probing:
+            # One probe in flight; everything else stays degraded until
+            # its outcome is recorded.
+            return False
+        if self.backoff_remaining > 0:
+            self.backoff_remaining -= 1
+            return False
+        self.probing = True
+        self.probes += 1
+        return True
+
+    def record_success(self):
+        self.consecutive_failures = 0
+        if self.quarantined:
+            self.quarantined = False
+            self.recoveries += 1
+        self.probing = False
+
+    def record_failure(self):
+        self.consecutive_failures += 1
+        if self.probing:
+            # Failed probe: still faulty, back off twice as long.
+            self.probing = False
+            self.backoff = min(self.backoff * 2, MAX_PROBE_BACKOFF)
+            self.backoff_remaining = self.backoff
+        elif (not self.quarantined and self.threshold
+                and self.consecutive_failures >= self.threshold):
+            self.quarantined = True
+            self.trips += 1
+            self.backoff = max(2, self.threshold)
+            self.backoff_remaining = self.backoff
+
+    def __repr__(self):
+        if self.quarantined:
+            state = f"quarantined, backoff={self.backoff_remaining}"
+        else:
+            state = f"healthy, streak={self.consecutive_failures}"
+        return f"CircuitBreaker(threshold={self.threshold}, {state})"
+
+
+__all__ = [
+    "CircuitBreaker",
+    "FAULT_PLANS",
+    "FaultPlan",
+    "InjectedMiningFault",
+    "MAX_PROBE_BACKOFF",
+    "MiningFault",
+    "NULL_FAULT_PLAN",
+    "NullFaultPlan",
+    "parse_fault_spec",
+    "resolve_fault_plan",
+]

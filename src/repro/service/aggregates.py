@@ -11,7 +11,9 @@ fold in one place means a counter added to one backend's stats shape
 cannot silently go missing from the other.
 """
 
-#: Per-processor counters summed into the totals.
+#: Per-processor counters summed into the totals. ``quarantined`` is a
+#: 0/1 gauge per processor, so its sum counts currently quarantined
+#: sessions.
 SUMMED_KEYS = (
     "jobs_materialized",
     "memo_hits",
@@ -19,6 +21,10 @@ SUMMED_KEYS = (
     "outstanding",
     "pointer_collapses",
     "hysteresis_suppressed",
+    "mining_failures",
+    "degraded_jobs",
+    "deadline_overruns",
+    "quarantined",
 )
 
 
@@ -26,7 +32,8 @@ class RetiredCounters:
     """Lifetime counters of sessions a pooled backend has closed."""
 
     __slots__ = ("jobs", "memo_hits", "pointer_peak", "collapses",
-                 "suppressed")
+                 "suppressed", "mining_failures", "degraded_jobs",
+                 "deadline_overruns")
 
     def __init__(self):
         self.jobs = 0
@@ -34,11 +41,18 @@ class RetiredCounters:
         self.pointer_peak = 0
         self.collapses = 0
         self.suppressed = 0
+        self.mining_failures = 0
+        self.degraded_jobs = 0
+        self.deadline_overruns = 0
 
     def absorb(self, processor):
         """Fold a closing session's processor into the lifetime record."""
-        self.jobs += processor.executor.jobs_submitted
-        self.memo_hits += processor.executor.memo_hits
+        executor = processor.executor
+        self.jobs += executor.jobs_submitted
+        self.memo_hits += executor.memo_hits
+        self.mining_failures += getattr(executor, "mining_failures", 0)
+        self.degraded_jobs += getattr(executor, "degraded_jobs", 0)
+        self.deadline_overruns += getattr(executor, "deadline_overruns", 0)
         replayer_stats = processor.replayer.stats
         self.pointer_peak = max(
             self.pointer_peak, replayer_stats.active_pointer_peak
@@ -56,6 +70,10 @@ class RetiredCounters:
             "active_pointer_peak": self.pointer_peak,
             "pointer_collapses": self.collapses,
             "hysteresis_suppressed": self.suppressed,
+            "mining_failures": self.mining_failures,
+            "degraded_jobs": self.degraded_jobs,
+            "deadline_overruns": self.deadline_overruns,
+            "quarantined": 0,  # gauge: closed sessions are not quarantined
         }
 
 

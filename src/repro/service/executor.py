@@ -37,6 +37,13 @@ from collections import deque
 
 from repro.core.jobs import AnalysisJob, MiningMemo, completion_op
 from repro.core.repeats import find_repeats
+from repro.faults import (
+    NULL_FAULT_PLAN,
+    CircuitBreaker,
+    InjectedMiningFault,
+    MiningFault,
+    resolve_fault_plan,
+)
 
 
 class _PendingMine:
@@ -44,17 +51,21 @@ class _PendingMine:
 
     ``counted`` tracks whether the entry still occupies queue budget:
     materializing (from the scheduler or a ``job.result`` force) and lane
-    release each release the budget exactly once.
+    release each release the budget exactly once. ``fault`` is the
+    injected fault decided at submit time -- deciding it there keeps the
+    fault schedule a pure function of ``(stream, job_seq)``, independent
+    of the order the shared scheduler happens to run the work.
     """
 
-    __slots__ = ("job", "tokens", "min_length", "lane", "counted")
+    __slots__ = ("job", "tokens", "min_length", "lane", "counted", "fault")
 
-    def __init__(self, job, tokens, min_length, lane):
+    def __init__(self, job, tokens, min_length, lane, fault=None):
         self.job = job
         self.tokens = tokens
         self.min_length = min_length
         self.lane = lane
         self.counted = False
+        self.fault = fault
 
 
 class SessionLane:
@@ -68,7 +79,8 @@ class SessionLane:
     """
 
     def __init__(self, shared, session_key, node_id=0, base_latency_ops=50,
-                 per_token_latency_ops=0.05, priority=0):
+                 per_token_latency_ops=0.05, priority=0,
+                 quarantine_threshold=None):
         self.shared = shared
         self.session_key = session_key
         self.node_id = node_id
@@ -85,18 +97,59 @@ class SessionLane:
         self.outstanding = 0
         #: Times a submit hit the per-lane quota and drained its own work.
         self.quota_stalls = 0
+        # Degradation accounting: failures are contained per job, and
+        # the breaker quarantines this lane alone -- one faulty tenant
+        # must not cost the others their shared scheduler.
+        self.breaker = CircuitBreaker(quarantine_threshold)
+        self.mining_failures = 0
+        self.degraded_jobs = 0
+        self.deadline_overruns = 0
+
+    @property
+    def quarantined(self):
+        return self.breaker.quarantined
 
     def submit(self, tokens, min_length, now_op):
         """Queue a mining job; returns its :class:`AnalysisJob`.
 
         The job's completion op is fixed here (it is part of the decision
         stream); the mining work itself runs when the shared scheduler
-        reaches it, or lazily on first access to ``job.result``.
+        reaches it, or lazily on first access to ``job.result``. A
+        quarantined (or over-deadline) job resolves immediately to the
+        empty degraded result and never occupies shared queue budget.
         """
         job_id = next(self._ids)
+        shared = self.shared
+        plan = shared.fault_plan
+        fault = (
+            plan.mining_fault(self.session_key, job_id) if plan.active
+            else None
+        )
+        completes = completion_op(
+            now_op,
+            len(tokens),
+            self.base_latency_ops,
+            self.per_token_latency_ops,
+            self.node_id,
+            job_id,
+        )
+        if fault is not None and fault.kind == MiningFault.DELAY:
+            completes += fault.delay_ops
+            fault = None  # the mining itself stays healthy, just late
+        self.jobs_submitted += 1
+        self.tokens_analyzed += len(tokens)
+        deadline = shared.deadline_tokens
+        if deadline is not None and len(tokens) > deadline:
+            # Soft deadline, checked before the breaker (an over-budget
+            # window says nothing about the tenant's health).
+            self.deadline_overruns += 1
+            shared.deadline_overruns += 1
+            return self._degraded_job(job_id, now_op, completes, len(tokens))
+        if not self.breaker.allow():
+            return self._degraded_job(job_id, now_op, completes, len(tokens))
         # The finder hands over a freshly copied slice; the pending entry
         # takes ownership (no defensive copy, matching JobExecutor).
-        pending = _PendingMine(None, tokens, min_length, self)
+        pending = _PendingMine(None, tokens, min_length, self, fault)
 
         def force(job, pending=pending):
             self.shared._force(pending)
@@ -104,22 +157,22 @@ class SessionLane:
         job = AnalysisJob(
             job_id,
             now_op,
-            completion_op(
-                now_op,
-                len(tokens),
-                self.base_latency_ops,
-                self.per_token_latency_ops,
-                self.node_id,
-                job_id,
-            ),
+            completes,
             len(tokens),
             materialize=force,
         )
         pending.job = job
-        self.jobs_submitted += 1
-        self.tokens_analyzed += len(tokens)
         self.shared._enqueue(pending)
         return job
+
+    def _degraded_job(self, job_id, now_op, completes_at, num_tokens):
+        """Resolve a job as degraded (empty result) without mining."""
+        self.degraded_jobs += 1
+        self.shared.degraded_jobs += 1
+        return AnalysisJob(
+            job_id, now_op, completes_at, num_tokens,
+            result=[], degraded=True,
+        )
 
     def __repr__(self):
         return (
@@ -159,7 +212,8 @@ class SharedJobExecutor:
 
     def __init__(self, repeats_algorithm=find_repeats, memo_capacity=256,
                  max_outstanding_jobs=64, memo_token_budget=None,
-                 lane_outstanding_quota=None):
+                 lane_outstanding_quota=None, fault_plan=None,
+                 deadline_tokens=None, quarantine_threshold=None):
         self.repeats_algorithm = repeats_algorithm
         self.memo = (
             MiningMemo(memo_capacity, token_budget=memo_token_budget)
@@ -167,6 +221,13 @@ class SharedJobExecutor:
         )
         self.max_outstanding_jobs = max_outstanding_jobs
         self.lane_outstanding_quota = lane_outstanding_quota
+        self.fault_plan = (
+            resolve_fault_plan(fault_plan) if fault_plan is not None
+            else NULL_FAULT_PLAN
+        )
+        self.deadline_tokens = deadline_tokens
+        #: Default per-lane breaker threshold; ``lane()`` may override.
+        self.quarantine_threshold = quarantine_threshold
         self.lanes = {}
         self.outstanding = 0
         self._serve_counter = itertools.count()
@@ -177,12 +238,16 @@ class SharedJobExecutor:
         self.backpressure_drains = 0
         self.lane_quota_drains = 0
         self.forced_out_of_order = 0
+        self.mining_failures = 0
+        self.degraded_jobs = 0
+        self.deadline_overruns = 0
 
     # ------------------------------------------------------------------
     # Lane management
     # ------------------------------------------------------------------
     def lane(self, session_key, node_id=0, base_latency_ops=50,
-             per_token_latency_ops=0.05, priority=0):
+             per_token_latency_ops=0.05, priority=0,
+             quarantine_threshold=None):
         """Create the submit lane for a new session."""
         if session_key in self.lanes:
             raise ValueError(f"lane {session_key!r} already exists")
@@ -193,6 +258,10 @@ class SharedJobExecutor:
             base_latency_ops=base_latency_ops,
             per_token_latency_ops=per_token_latency_ops,
             priority=priority,
+            quarantine_threshold=(
+                quarantine_threshold if quarantine_threshold is not None
+                else self.quarantine_threshold
+            ),
         )
         self.lanes[session_key] = lane
         return lane
@@ -294,16 +363,48 @@ class SharedJobExecutor:
             pending.counted = False
             pending.lane.outstanding -= 1
             self.outstanding -= 1
-        if self.memo is None:
-            result, hit = self.repeats_algorithm(
-                pending.tokens, pending.min_length
-            ), False
-        else:
-            result, hit = self.memo.mine(
-                pending.tokens, pending.min_length, self.repeats_algorithm
-            )
+        lane = pending.lane
+        fault = pending.fault
+        hit = False
+        try:
+            if fault is not None:
+                # Injected at submit time (raise or overrun kinds; delay
+                # was consumed into the completion op). Raised here --
+                # inside the containment -- so it exercises exactly the
+                # path a real mining exception takes.
+                if fault.kind == MiningFault.OVERRUN:
+                    lane.deadline_overruns += 1
+                    self.deadline_overruns += 1
+                raise InjectedMiningFault(
+                    f"injected mining {fault.kind} "
+                    f"(lane={lane.session_key!r})"
+                )
+            if self.memo is None:
+                result = self.repeats_algorithm(
+                    pending.tokens, pending.min_length
+                )
+            else:
+                result, hit = self.memo.mine(
+                    pending.tokens, pending.min_length, self.repeats_algorithm
+                )
+        except Exception:
+            # Mining is advisory: contain the failure to this job, keep
+            # the poisoned result out of the shared memo (MiningMemo
+            # inserts only after the algorithm returns), and resolve the
+            # job to the empty degraded value so the tenant's tracing
+            # stream stays valid -- merely untraced.
+            lane.mining_failures += 1
+            lane.degraded_jobs += 1
+            self.mining_failures += 1
+            self.degraded_jobs += 1
+            lane.breaker.record_failure()
+            self.jobs_materialized += 1
+            pending.job._fulfill([], degraded=True)
+            pending.tokens = None
+            return
+        lane.breaker.record_success()
         if hit:
-            pending.lane.memo_hits += 1
+            lane.memo_hits += 1
         else:
             self.mines_executed += 1
             self.tokens_mined += len(pending.tokens)
@@ -336,4 +437,10 @@ class SharedJobExecutor:
             "backpressure_drains": self.backpressure_drains,
             "lane_quota_drains": self.lane_quota_drains,
             "forced_out_of_order": self.forced_out_of_order,
+            "mining_failures": self.mining_failures,
+            "degraded_jobs": self.degraded_jobs,
+            "deadline_overruns": self.deadline_overruns,
+            "quarantined": sum(
+                1 for lane in self.lanes.values() if lane.quarantined
+            ),
         }

@@ -49,6 +49,8 @@ from repro.core.processor import (
     ApopheniaProcessor,
     _resolve_repeats_algorithm,
 )
+from repro.errors import SessionClosedError
+from repro.faults import NULL_FAULT_PLAN, resolve_fault_plan
 from repro.runtime.session import RuntimeSessionFactory
 from repro.service.aggregates import (
     RetiredCounters,
@@ -82,10 +84,14 @@ class ReplicatedSessionHandle:
         "coordinator",
         "owns_runtimes",
         "closed",
+        "faults",
+        "dropped",
+        "_live",
+        "_drops_armed",
     )
 
     def __init__(self, session_id, backend, processors, runtimes,
-                 coordinator, owns_runtimes):
+                 coordinator, owns_runtimes, faults=NULL_FAULT_PLAN):
         self.session_id = session_id
         self.backend = backend
         self.processors = processors
@@ -93,10 +99,24 @@ class ReplicatedSessionHandle:
         self.coordinator = coordinator
         self.owns_runtimes = owns_runtimes
         self.closed = False
+        self.faults = faults
+        self.dropped = set()  # node ids no longer serving
+        self._live = list(processors)
+        self._drops_armed = faults.active and faults.has_node_drops
 
     @property
     def num_nodes(self):
+        """Replica count the session was opened with (drops included)."""
         return len(self.processors)
+
+    @property
+    def live_nodes(self):
+        """Replicas still serving (``num_nodes`` minus dropped nodes)."""
+        return len(self._live)
+
+    @property
+    def live_processors(self):
+        return list(self._live)
 
     # ------------------------------------------------------------------
     # Serving (the facade surface)
@@ -112,8 +132,10 @@ class ReplicatedSessionHandle:
         :meth:`execute_task_factory`.
         """
         if self.closed:
-            raise RuntimeError(f"session {self.session_id!r} is closed")
-        for processor in self.processors:
+            raise SessionClosedError(self.session_id)
+        if self._drops_armed:
+            self._check_drops()
+        for processor in self._live:
             processor.execute_task(task)
 
     def execute_task_factory(self, make_task):
@@ -121,57 +143,114 @@ class ReplicatedSessionHandle:
         ``make_task(node)`` builds node ``node``'s structurally identical
         task against that node's own region forest."""
         if self.closed:
-            raise RuntimeError(f"session {self.session_id!r} is closed")
-        for node, processor in enumerate(self.processors):
-            processor.execute_task(make_task(node))
+            raise SessionClosedError(self.session_id)
+        if self._drops_armed:
+            self._check_drops()
+        for processor in self._live:
+            processor.execute_task(make_task(processor.node_id))
 
     def set_iteration(self, iteration):
         if self.closed:
-            raise RuntimeError(f"session {self.session_id!r} is closed")
-        for processor in self.processors:
+            raise SessionClosedError(self.session_id)
+        for processor in self._live:
             processor.set_iteration(iteration)
 
     def flush(self):
         if self.closed:
-            raise RuntimeError(f"session {self.session_id!r} is closed")
-        for processor in self.processors:
+            raise SessionClosedError(self.session_id)
+        for processor in self._live:
             processor.flush()
+
+    # ------------------------------------------------------------------
+    # Degradation (node drops)
+    # ------------------------------------------------------------------
+    def _check_drops(self):
+        """Apply fault-plan node drops whose scheduled op has arrived."""
+        clock = self._live[0].finder.ops_observed
+        for processor in list(self._live):
+            if len(self._live) == 1:
+                break
+            if self.faults.should_drop_node(
+                self.session_id, processor.node_id, clock
+            ):
+                self.drop_node(processor.node_id)
+        scheduled = {node for node, _ in self.faults.drop_nodes}
+        live_ids = {p.node_id for p in self._live}
+        if len(self._live) == 1 or not (scheduled & live_ids):
+            self._drops_armed = False  # nothing left to apply
+
+    def drop_node(self, node_id):
+        """Remove a dead replica from the serving set; returns its count.
+
+        Degradation, not teardown: the survivors keep byte-identical
+        agreement because the coordinator merely stops counting the dead
+        node as a consumer (its already-fixed ingest points are
+        untouched, and per-node retire tracking keeps pruning exact), and
+        the dead node's runtime stays allocated until ``close_session``
+        so nothing the application still references is torn down early.
+        Refuses to drop the last live node -- a session with zero
+        replicas is an outage, not a degradation.
+        """
+        if self.closed:
+            raise SessionClosedError(self.session_id)
+        live = [p for p in self._live if p.node_id != node_id]
+        if len(live) == len(self._live):
+            raise ValueError(
+                f"node {node_id} is not live on session {self.session_id!r}"
+            )
+        if not live:
+            raise ValueError(
+                f"cannot drop node {node_id}: it is the last live replica "
+                f"of session {self.session_id!r}"
+            )
+        self._live = live
+        self.dropped.add(node_id)
+        if self.coordinator is not None:
+            self.coordinator.drop_node(node_id, stream=self.session_id)
+        return len(self._live)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
     def processor(self):
-        """Node 0, the reference replica the facade reports."""
-        return self.processors[0]
+        """The lowest-id live replica, the reference the facade reports
+        (node 0 until it drops)."""
+        return self._live[0]
 
     @property
     def runtime(self):
-        return self.runtimes[0]
+        return self._live[0].runtime
 
     @property
     def stats(self):
-        """Node 0's :class:`~repro.core.replayer.ReplayerStats`."""
-        return self.processors[0].stats
+        """The reference replica's
+        :class:`~repro.core.replayer.ReplayerStats`."""
+        return self._live[0].stats
 
     def decision_trace(self):
-        return self.processors[0].decision_trace()
+        return self._live[0].decision_trace()
 
     def decision_traces(self):
         return [p.decision_trace() for p in self.processors]
 
     def decisions_agree(self):
-        """True if every node issued the identical trace sequence."""
-        reference = self.processors[0].decision_trace()
+        """True if every *live* node issued the identical trace sequence.
+
+        Dropped replicas are excluded: a dead node's trace is frozen at
+        the prefix it issued before dying, which trivially diverges from
+        survivors that kept serving.
+        """
+        reference = self._live[0].decision_trace()
         return all(
-            p.decision_trace() == reference for p in self.processors[1:]
+            p.decision_trace() == reference for p in self._live[1:]
         )
 
     def __repr__(self):
         state = "closed" if self.closed else "open"
         return (
             f"ReplicatedSessionHandle({self.session_id!r}, "
-            f"nodes={self.num_nodes}, {state})"
+            f"nodes={self.live_nodes}/{self.num_nodes}, {state})"
         )
 
 
@@ -225,6 +304,7 @@ class ReplicatedBackend:
         self._retired = RetiredCounters()
         self._retired_waits = 0
         self._retired_pruned = 0
+        self._nodes_dropped = 0
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -296,6 +376,12 @@ class ReplicatedBackend:
             MiningMemo(cfg.mining_memo_capacity)
             if cfg.mining_memo_capacity else None
         )
+        # One plan object for the whole replica set, keyed by the session
+        # id: every node executor consults the same deterministic
+        # schedule for the same stream, so injected mining faults hit all
+        # replicas identically -- degraded results stay replicated
+        # results, and the agreement invariant survives the fault.
+        faults = resolve_fault_plan(cfg.fault_plan)
         processors = []
         for node in range(nodes):
             processor = ApopheniaProcessor(
@@ -314,6 +400,10 @@ class ReplicatedBackend:
                     # to a private default-capacity cache per node.
                     memo_capacity=cfg.mining_memo_capacity,
                     memo=memo,
+                    fault_plan=faults,
+                    stream_key=session_id,
+                    deadline_tokens=cfg.mining_deadline_tokens,
+                    quarantine_threshold=cfg.fault_quarantine_threshold,
                 ),
             )
             if owns_runtimes:
@@ -324,7 +414,7 @@ class ReplicatedBackend:
         processors[0].open_session(session_id)
         handle = ReplicatedSessionHandle(
             session_id, self, processors, runtimes, coordinator,
-            owns_runtimes,
+            owns_runtimes, faults=faults,
         )
         self.sessions[session_id] = handle
         self.sessions_opened += 1
@@ -339,9 +429,10 @@ class ReplicatedBackend:
         """
         handle = self.sessions.get(session_id)
         if handle is None:
-            raise KeyError(
+            raise SessionClosedError(
+                session_id,
                 f"unknown or already-closed replicated session "
-                f"{session_id!r}"
+                f"{session_id!r}",
             )
         try:
             handle.flush()
@@ -360,7 +451,10 @@ class ReplicatedBackend:
         return handle
 
     def _retire_counters(self, handle):
-        self._retired.absorb(handle.processors[0])
+        # The reference (lowest-id live) replica, not blindly node 0: a
+        # dropped node 0's counters froze at the drop point.
+        self._retired.absorb(handle.processor)
+        self._nodes_dropped += len(handle.dropped)
         if handle.coordinator is not None:
             self._retired_waits += handle.coordinator.waits
             self._retired_pruned += handle.coordinator.agreements_pruned
@@ -389,6 +483,8 @@ class ReplicatedBackend:
         totals = {
             "lanes": len(self.sessions),
             "nodes": 0,
+            "live_nodes": 0,
+            "nodes_dropped": self._nodes_dropped,
             "sessions_open": len(self.sessions),
             "sessions_opened": self.sessions_opened,
             "sessions_evicted": 0,
@@ -400,7 +496,9 @@ class ReplicatedBackend:
         }
         for handle in self.sessions.values():
             totals["nodes"] += handle.num_nodes
-            fold_processor_stats(totals, handle.processors[0].backend_stats)
+            totals["live_nodes"] += handle.live_nodes
+            totals["nodes_dropped"] += len(handle.dropped)
+            fold_processor_stats(totals, handle.processor.backend_stats)
             coordinator = handle.coordinator
             if coordinator is not None:
                 totals["coordinator_waits"] += coordinator.waits

@@ -30,6 +30,7 @@ from repro.core.processor import (
     ApopheniaProcessor,
     _resolve_repeats_algorithm,
 )
+from repro.errors import SessionClosedError
 from repro.runtime.session import RuntimeSessionFactory
 from repro.service.executor import SharedJobExecutor
 
@@ -67,7 +68,7 @@ class SessionHandle:
         bypassed the pump would never drain its own submit queue.
         """
         if self.closed:
-            raise RuntimeError(f"session {self.session_id!r} is closed")
+            raise SessionClosedError(self.session_id)
         self.service.execute_task(self.session_id, task)
 
     def set_iteration(self, iteration):
@@ -79,7 +80,7 @@ class SessionHandle:
         tenant would look idle and get evicted while actively serving.
         """
         if self.closed:
-            raise RuntimeError(f"session {self.session_id!r} is closed")
+            raise SessionClosedError(self.session_id)
         self.service.set_iteration(self.session_id, iteration)
 
     def flush(self):
@@ -87,7 +88,7 @@ class SessionHandle:
         ``execute_task`` (LRU stamp + scheduler pump), so a
         flush-heavy tenant stays visibly active."""
         if self.closed:
-            raise RuntimeError(f"session {self.session_id!r} is closed")
+            raise SessionClosedError(self.session_id)
         self.service.flush(self.session_id)
 
     @property
@@ -134,6 +135,9 @@ class ApopheniaService:
             max_outstanding_jobs=self.config.max_outstanding_jobs,
             memo_token_budget=self.config.shared_memo_token_budget,
             lane_outstanding_quota=self.config.lane_outstanding_quota,
+            fault_plan=self.config.fault_plan,
+            deadline_tokens=self.config.mining_deadline_tokens,
+            quarantine_threshold=self.config.fault_quarantine_threshold,
         )
         # Explicit None check: an empty factory is falsy (it has __len__).
         self.runtime_factory = (
@@ -172,6 +176,7 @@ class ApopheniaService:
             base_latency_ops=cfg.job_base_latency_ops,
             per_token_latency_ops=cfg.job_per_token_latency_ops,
             priority=priority,
+            quarantine_threshold=cfg.fault_quarantine_threshold,
         )
         processor = ApopheniaProcessor(
             runtime, cfg, node_id=node_id, executor=lane
@@ -198,8 +203,9 @@ class ApopheniaService:
         """
         session = self.sessions.get(session_id)
         if session is None:
-            raise KeyError(
-                f"unknown or already-closed session {session_id!r}"
+            raise SessionClosedError(
+                session_id,
+                f"unknown or already-closed session {session_id!r}",
             )
         try:
             # The processor directly, not the routed handle.flush():
@@ -299,6 +305,7 @@ class ApopheniaService:
             sessions_open=len(self.sessions),
             sessions_opened=self.sessions_opened,
             sessions_evicted=self.sessions_evicted,
+            live_nodes=len(self.sessions),  # service sessions: 1 node each
             tasks_seen=sum(r.tasks_seen for r in replayers),
             active_pointer_peak=max(
                 (r.active_pointer_peak for r in replayers), default=0

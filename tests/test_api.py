@@ -398,7 +398,8 @@ class TestRegistries:
     def test_uniform_pattern_across_plugin_points(self):
         registries = api.registries()
         assert set(registries) == {
-            "tracing_backends", "config_profiles", "sa_backends", "apps"
+            "tracing_backends", "config_profiles", "sa_backends", "apps",
+            "fault_plans",
         }
         for registry in registries.values():
             assert isinstance(registry, Registry)

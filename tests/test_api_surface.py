@@ -37,10 +37,13 @@ REPRO_API_ALL = [
     "ApopheniaService",
     "DEFAULT_PROFILE",
     "ENV_PREFIX",
+    "FaultPlan",
+    "NullFaultPlan",
     "PROFILES",
     "PROFILE_ENV_VAR",
     "ReplicatedBackend",
     "Session",
+    "SessionClosedError",
     "SessionSnapshot",
     "SessionStats",
     "StandaloneBackend",
