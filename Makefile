@@ -1,6 +1,6 @@
 # Convenience targets; see ROADMAP.md for the canonical commands.
 
-.PHONY: verify verify-full verify-chaos test bench service-bench replayer-bench api-check
+.PHONY: verify verify-full verify-chaos test bench service-bench replayer-bench api-check lint lint-baseline
 
 ## Tier-1 tests plus the perf_smoke guards (the pre-commit check).
 verify:
@@ -31,3 +31,11 @@ replayer-bench:
 ## Public-API snapshot + client-facade suites on their own.
 api-check:
 	PYTHONPATH=src python -m pytest -q -m api tests
+
+## The determinism & invariant linter (rules RPL001-RPL008) over src/.
+lint:
+	PYTHONPATH=src python -m repro.lint src
+
+## Accept the current violation set as the new baseline (review the diff!).
+lint-baseline:
+	PYTHONPATH=src python -m repro.lint src --write-baseline

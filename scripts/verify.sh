@@ -10,6 +10,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Static analysis first: the determinism & invariant linter (rules
+# RPL001-RPL008, see `python -m repro.lint --list-rules`) over src/,
+# against the checked-in baseline (lint-baseline.json). Fails on any
+# fresh violation; runs before the tests because it is the cheapest gate.
+echo "== static analysis"
+python -m repro.lint src
+
 echo "== tier-1 unit suite"
 python -m pytest -x -q tests
 

@@ -4,9 +4,10 @@ Before this layer existed, every deployment style configured Apophenia
 its own way: standalone callers constructed :class:`ApopheniaConfig`
 by keyword, the experiments harness had ``auto_config``, the service
 read its knobs off the same dataclass, and the ``REPRO_SA_BACKEND``
-environment variable was consulted ad hoc inside
-``_resolve_repeats_algorithm``. :func:`build_config` is the one front
-door, with explicit layering (lowest to highest precedence):
+environment variable was consulted ad hoc inside backend resolution
+(``repro.core.sa_backends``). :func:`build_config` is now the *only*
+place the ambient environment is read (the linter's RPL004 rule
+enforces this), with explicit layering (lowest to highest precedence):
 
 1. a named **profile** (:data:`PROFILES`) -- the base configuration;
 2. keyword **overrides** -- what the calling code decides;
@@ -27,6 +28,7 @@ import typing
 from dataclasses import fields
 
 from repro.core.processor import ApopheniaConfig
+from repro.core.sa_backends import ENV_VAR as SA_BACKEND_ENV_VAR
 from repro.registry import Registry
 
 #: Prefix of every configuration environment variable.
@@ -139,11 +141,14 @@ def build_config(profile=None, config=None, env=None, **overrides):
     config:
         An existing :class:`ApopheniaConfig` to use as the base. An
         explicit config is authoritative: it is validated and returned
-        (plus keyword overrides) with **no environment layering** --
-        it is the escape hatch for callers that must pin every knob
-        (parity tests, benchmarks). Note ``REPRO_SA_BACKEND`` still
-        wins even then, because backend resolution itself honors it
-        (:func:`repro.core.sa_backends.resolve_backend_name`).
+        (plus keyword overrides) with **no general environment
+        layering** -- it is the escape hatch for callers that must pin
+        every knob (parity tests, benchmarks). The one exception, kept
+        for compatibility, is ``REPRO_SA_BACKEND``: its documented
+        contract has always been "environment beats code", so it is
+        layered even over an explicit config. (Backend resolution
+        itself no longer reads the environment; this is the only place
+        that override is applied.)
     env:
         Mapping consulted for ``REPRO_*`` variables; defaults to
         ``os.environ``. On profile-based builds environment values have
@@ -153,12 +158,15 @@ def build_config(profile=None, config=None, env=None, **overrides):
         Field overrides applied on top of the base, below the
         environment.
     """
+    environ = os.environ if env is None else env
     if config is not None:
         base = config
         if overrides:
             base = base.with_overrides(**overrides)
+        env_backend = environ.get(SA_BACKEND_ENV_VAR)
+        if env_backend:
+            base = base.with_overrides(sa_backend=env_backend)
         return validate_config(base)
-    environ = os.environ if env is None else env
     name = profile or environ.get(PROFILE_ENV_VAR) or DEFAULT_PROFILE
     base = PROFILES[name]
     if overrides:

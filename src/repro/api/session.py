@@ -53,6 +53,7 @@ from repro.service.aggregates import (
 )
 from repro.service.replicated import ReplicatedBackend
 from repro.service.service import ApopheniaService
+from repro.stablehash import stable_digest
 
 
 @runtime_checkable
@@ -217,13 +218,27 @@ class SessionSnapshot:
         """The backend-independent part: trace boundaries + counters."""
         return (self.decision_trace, self.replayer)
 
+    def stable_digest(self):
+        """Process-stable hex digest of :attr:`decisions`.
+
+        ``hash(snapshot)`` is randomized per process (decision traces
+        contain task-signature strings, so ``PYTHONHASHSEED`` applies);
+        this digest is not, so snapshots taken in different processes --
+        replica nodes, future ``multiprocessing`` shards, a recorded
+        run compared against a live one -- can be compared by value
+        without shipping the full trace.
+        """
+        return stable_digest(self.decisions)
+
     def __eq__(self, other):
         if not isinstance(other, SessionSnapshot):
             return NotImplemented
         return self.decisions == other.decisions
 
     def __hash__(self):
-        return hash(self.decisions)
+        # Intra-process only (dict/set membership); cross-process
+        # comparison goes through stable_digest() above.
+        return hash(self.decisions)  # replint: allow[RPL003] intra-process membership hash; cross-process identity is stable_digest()
 
     def __repr__(self):
         return (
@@ -359,8 +374,8 @@ class Session:
             return  # evicted (and flushed) by the backend already
         try:
             self.backend.close_session(self.session_id)
-        except KeyError:
-            pass  # raced with a backend-side close
+        except KeyError:  # replint: allow[RPL006] idempotent close: KeyError only means the backend (LRU eviction) closed and flushed this session first
+            pass
 
     def __enter__(self):
         return self

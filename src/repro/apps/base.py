@@ -14,8 +14,7 @@ GPUs, with per-size execution costs and a communication cost per halo
 exchange derived from the machine and cost models.
 """
 
-from repro.api import open_session
-from repro.core.processor import ApopheniaConfig
+from repro.api import build_config, open_session
 from repro.registry import Registry
 from repro.runtime.costmodel import DEFAULT_COST_MODEL
 from repro.runtime.machine import PERLMUTTER
@@ -47,7 +46,10 @@ class AppConfig:
         self.mode = mode
         self.cost_model = cost_model
         if apophenia is None:
-            apophenia = ApopheniaConfig()
+            # The front door, not a bare ApopheniaConfig(): applications
+            # pick up the documented REPRO_* environment layering (the
+            # verify harness drives fig10 through REPRO_SA_BACKEND).
+            apophenia = build_config()
             if task_scale != 1.0:
                 # The history buffer and sampling granularity are sized
                 # in tasks; scale both proportionally with the stream so

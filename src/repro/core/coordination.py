@@ -215,7 +215,7 @@ class IngestCoordinator:
         stale = [key for key in self._agreed if key[0] == stream]
         for key in stale:
             del self._agreed[key]
-            self._consumed.pop(key, None)
+            self._consumed.pop(key, None)  # replint: allow[RPL006] plain-dict bookkeeping: del/pop-with-default on own dicts cannot raise, nothing here can leak
         self._registered.pop(stream, None)
         self._dropped.pop(stream, None)
         return len(stale)

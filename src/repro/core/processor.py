@@ -46,16 +46,18 @@ REPEATS_ALGORITHMS = (
 def _resolve_repeats_algorithm(name, sa_backend=None):
     """Map an artifact-style algorithm name to a callable.
 
-    ``sa_backend`` binds Algorithm 2 to a suffix-array backend (resolved
-    once here, so the ``REPRO_SA_BACKEND`` environment variable is read at
-    processor construction, not per mining job). The baselines do not use
-    suffix arrays, so the knob is ignored for them.
+    ``sa_backend`` binds Algorithm 2 to a suffix-array backend, resolved
+    once here at processor construction, not per mining job. The value is
+    taken as given -- the ``REPRO_SA_BACKEND`` environment override is
+    layered into the config by :func:`repro.api.build_config`, never read
+    here. The baselines do not use suffix arrays, so the knob is ignored
+    for them.
     """
     if callable(name):
         return name
     if name == "quick_matching_of_substrings":
-        # Bind the resolved *callable*, not the name: binding a name would
-        # re-resolve (and re-read the environment) on every mining job.
+        # Bind the resolved *callable*, not the name, so every mining job
+        # of this processor uses one backend.
         return partial(find_repeats, backend=get_backend(sa_backend))
     if name == "lzw":
         from repro.analysis.lzw import find_repeats_lzw
@@ -103,7 +105,8 @@ class ApopheniaConfig:
         (linear-time induced sorting, the default), ``"radix"``
         (counting-sort prefix doubling), or ``"doubling"`` (the reference
         lambda-key prefix doubling). The ``REPRO_SA_BACKEND`` environment
-        variable overrides this knob. All backends produce identical
+        variable overrides this knob for configs built through
+        :func:`repro.api.build_config`. All backends produce identical
         mining results; the choice only affects analysis cost.
     mining_memo_capacity:
         Recent identical-window mining results remembered by the

@@ -80,7 +80,9 @@ class Repeat:
         )
 
     def __hash__(self):
-        return hash((self.tokens, self.positions))
+        # Intra-process dict/set membership only; no decision ever reads
+        # iteration order of a Repeat set (RPL008 guards that side).
+        return hash((self.tokens, self.positions))  # replint: allow[RPL003] membership hashing within one process; repeats never cross processes unserialized
 
 
 def _candidates(s, sa, lcp, min_length):

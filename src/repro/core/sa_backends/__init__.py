@@ -23,20 +23,22 @@ Backends
 
 Selection
 ---------
-:func:`resolve_backend_name` picks the backend: the ``REPRO_SA_BACKEND``
-environment variable overrides everything (so a deployment can switch
-backends without code changes), then an explicit name (for example from
-``ApopheniaConfig.sa_backend``), then :data:`DEFAULT_BACKEND`.
+:func:`resolve_backend_name` validates an explicit name (for example
+from ``ApopheniaConfig.sa_backend``), falling back to
+:data:`DEFAULT_BACKEND`. This module never consults the environment:
+the ``REPRO_SA_BACKEND`` variable (:data:`ENV_VAR`) is layered onto the
+configuration -- with its documented environment-beats-code precedence
+-- by :func:`repro.api.config.build_config`, the one place ambient
+environment is read.
 """
-
-import os
 
 from repro.core.sa_backends.doubling import suffix_array_doubling
 from repro.core.sa_backends.radix import suffix_array_radix
 from repro.core.sa_backends.sais import suffix_array_sais
 from repro.registry import Registry
 
-#: Environment variable overriding the configured backend.
+#: Environment variable overriding the configured backend. Consumed by
+#: :func:`repro.api.config.build_config`, never read here.
 ENV_VAR = "REPRO_SA_BACKEND"
 
 #: Backend used when neither the environment nor the caller chooses.
@@ -56,17 +58,15 @@ def available_backends():
 
 
 def resolve_backend_name(name=None):
-    """Resolve a backend name: env override, then ``name``, then default.
+    """Validate an explicit backend ``name``; ``None`` means the default.
 
-    The environment read here is the compatibility path for code that
-    constructs processors directly; clients of :mod:`repro.api` get the
-    same layering (and every other ``REPRO_*`` knob) centralized in
+    Pure function of its argument: code that constructs processors
+    directly gets exactly the backend it names. Clients of
+    :mod:`repro.api` get the ``REPRO_SA_BACKEND`` environment layering
+    (and every other ``REPRO_*`` knob) centralized in
     :func:`repro.api.build_config`.
     """
-    env = os.environ.get(ENV_VAR)
-    if env:
-        name = env
-    elif name is None:
+    if name is None:
         name = DEFAULT_BACKEND
     if name not in BACKENDS:
         raise ValueError(
@@ -79,9 +79,9 @@ def resolve_backend_name(name=None):
 def get_backend(name=None):
     """Return the ``build(ranks) -> suffix array`` callable for ``name``.
 
-    ``name`` may be a backend name, ``None`` (resolve via the environment
-    and the default), or an already-resolved callable (passed through, so
-    call sites can accept either form).
+    ``name`` may be a backend name, ``None`` (the default backend), or an
+    already-resolved callable (passed through, so call sites can accept
+    either form).
     """
     if callable(name):
         return name

@@ -3,8 +3,9 @@
 Algorithm 2 of the paper is built on a suffix array and the Kasai et al.
 longest-common-prefix array [23]. Construction is delegated to one of the
 pluggable backends in :mod:`repro.core.sa_backends` (``sais`` by default,
-selectable per call, via ``ApopheniaConfig.sa_backend``, or the
-``REPRO_SA_BACKEND`` environment variable).
+selectable per call or via ``ApopheniaConfig.sa_backend``; the
+``REPRO_SA_BACKEND`` environment variable reaches that field through
+:func:`repro.api.build_config`).
 
 The input is any sequence of hashable tokens (ints, strings, or task
 hashes); tokens are rank-compressed first so the construction only ever

@@ -14,6 +14,8 @@ replayer (serving-path tokens/sec per match engine), replication
 
 import sys
 
+from repro.registry import Registry
+
 from repro.experiments.multi_tenant import main as run_service_bench
 from repro.experiments.replayer_perf import main as run_replayer_bench
 from repro.experiments.replication_convergence import main as run_replication
@@ -64,7 +66,7 @@ def run_sec63():
     print(format_table(["quantity", "value"], rows, title="sec 6.3 overheads"))
 
 
-RUNNERS = {
+RUNNERS = Registry("experiment", {
     "fig6a": lambda: run_weak("fig6a"),
     "fig6b": lambda: run_weak("fig6b"),
     "fig7a": lambda: run_weak("fig7a"),
@@ -76,7 +78,7 @@ RUNNERS = {
     "service": run_service_bench,
     "replayer": run_replayer_bench,
     "replication": run_replication,
-}
+})
 
 
 def main(argv):

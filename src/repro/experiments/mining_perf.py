@@ -213,9 +213,9 @@ def measure_mining_throughput(
 
 
 def _backend_miner(name):
-    # Bind the backend *callable*: measurements must be immune to the
-    # REPRO_SA_BACKEND environment override, or a set variable would make
-    # every row silently measure the same backend under different labels.
+    # Bind the backend *callable*: measurements must be immune to any
+    # config-level backend override, so every row measures the backend its
+    # label names.
     build = BACKENDS[name]
 
     def miner(tokens, min_length):

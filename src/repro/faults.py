@@ -28,11 +28,8 @@ Plans flow through :class:`~repro.core.processor.ApopheniaConfig`
 variable can configure chaos runs without code changes.
 """
 
-import zlib
-
 from repro.registry import Registry
-
-_MASK64 = (1 << 64) - 1
+from repro.stablehash import mix64, stable_hash
 
 #: Probe backoff is capped so a permanently faulty tenant still gets
 #: probed at a bounded (if long) interval rather than never again.
@@ -95,27 +92,14 @@ def _stream_hash(stream):
 
     Deliberately *not* Python's ``hash(str)``, which is randomized per
     process: fault schedules must be identical across processes (and
-    across the node replicas of one session) for the same seed.
+    across the node replicas of one session) for the same seed. The
+    implementation lives in :mod:`repro.stablehash` (hoisted from here,
+    bit-for-bit compatible); ``None`` keeps its historical zero so
+    recorded chaos runs reproduce.
     """
     if stream is None:
         return 0
-    return zlib.crc32(repr(stream).encode("utf-8"))
-
-
-def _mix(seed, stream_h, job_seq):
-    """SplitMix64-style mix of (seed, stream, job) into a u64."""
-    x = (
-        seed * 0x9E3779B97F4A7C15
-        + stream_h * 0xBF58476D1CE4E5B9
-        + job_seq * 0x94D049BB133111EB
-        + 0x2545F4914F6CDD1D
-    ) & _MASK64
-    x ^= x >> 30
-    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
-    x ^= x >> 27
-    x = (x * 0x94D049BB133111EB) & _MASK64
-    x ^= x >> 31
-    return x
+    return stable_hash(stream)
 
 
 class FaultPlan:
@@ -197,7 +181,7 @@ class FaultPlan:
             lo, hi = self.fail_jobs
             if lo <= job_seq < hi:
                 return MiningFault(MiningFault.RAISE)
-        u = _mix(self.seed, _stream_hash(stream), job_seq) / 2.0 ** 64
+        u = mix64(self.seed, _stream_hash(stream), job_seq) / 2.0 ** 64
         if u < self.mining_failure_rate:
             return MiningFault(MiningFault.RAISE)
         u -= self.mining_failure_rate

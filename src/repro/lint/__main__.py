@@ -1,0 +1,15 @@
+"""Entry point: ``python -m repro.lint [paths...]``."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; the report
+        # is advisory, so exit quietly instead of tracebacking.
+        sys.stderr.close()
+        code = 0
+    sys.exit(code)

@@ -1,0 +1,173 @@
+"""Per-line suppressions and the checked-in baseline.
+
+Two burn-down mechanisms, for two lifetimes:
+
+* **Pragmas** -- ``# replint: allow[RPL003] reason`` on (or directly
+  above) the offending line. Permanent, reviewed annotations for sites
+  that are intentional: the pragma *requires a reason*, so every
+  suppression documents itself. A reasonless pragma does not suppress --
+  the violation is reported with a note saying why.
+* **Baseline** -- a checked-in JSON file of known pre-existing
+  violations, matched by ``(rule, module, source text)`` so entries
+  survive unrelated line drift but expire the moment the offending line
+  is edited. The baseline lets the verify gate fail on *new* violations
+  while old ones are burned down incrementally; the goal state is an
+  empty ``entries`` list.
+"""
+
+import json
+import re
+from collections import Counter
+
+#: ``# replint: allow[RPL001,RPL004] why this is fine``
+_PRAGMA_RE = re.compile(
+    r"#\s*replint:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(.*)$"
+)
+
+
+class Pragma:
+    """One parsed suppression comment."""
+
+    __slots__ = ("line", "rule_ids", "reason", "standalone")
+
+    def __init__(self, line, rule_ids, reason, standalone):
+        self.line = line
+        self.rule_ids = rule_ids
+        self.reason = reason
+        #: A pragma on a comment-only line applies to the next code line.
+        self.standalone = standalone
+
+    def suppresses(self, violation):
+        if violation.rule_id not in self.rule_ids:
+            return False
+        if self.standalone:
+            return violation.line == self.line + 1
+        return violation.line == self.line
+
+
+def collect_pragmas(lines):
+    """Parse every ``replint: allow`` pragma in ``lines``."""
+    pragmas = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if not match:
+            continue
+        rule_ids = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        reason = match.group(2).strip()
+        standalone = text.strip().startswith("#")
+        pragmas.append(Pragma(lineno, rule_ids, reason, standalone))
+    return pragmas
+
+
+def apply_pragmas(violations, pragmas):
+    """Split ``violations`` into (kept, suppressed).
+
+    A matching pragma with a reason suppresses; a matching pragma
+    *without* a reason keeps the violation and annotates it, so lazy
+    blanket suppressions are visible in review.
+    """
+    kept, suppressed = [], []
+    for violation in violations:
+        verdict = None
+        for pragma in pragmas:
+            if pragma.suppresses(violation):
+                verdict = pragma
+                break
+        if verdict is None:
+            kept.append(violation)
+        elif verdict.reason:
+            suppressed.append(violation)
+        else:
+            violation.note = (
+                "pragma present but missing a reason; add one to suppress"
+            )
+            kept.append(violation)
+    return kept, suppressed
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path):
+    """Load a baseline file into a ``Counter`` of baseline keys.
+
+    A missing file is an empty baseline (the common case for fresh
+    checkouts of a clean tree); a malformed one raises ``ValueError``
+    naming the file.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        return Counter()
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed baseline file {path}: {exc}") from None
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline file {path} has version {data.get('version')!r}; "
+            f"this linter writes version {BASELINE_VERSION}"
+        )
+    counts = Counter()
+    for entry in data.get("entries", []):
+        key = (entry["rule"], entry["path"], entry["line_text"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(violations, baseline):
+    """Split ``violations`` into (fresh, baselined) against ``baseline``.
+
+    Matching is multiset subtraction on :meth:`LintViolation.baseline_key`:
+    N baseline entries absorb at most N identical violations, so adding a
+    second copy of a baselined hazard still fails the gate.
+    """
+    remaining = Counter(baseline)
+    fresh, baselined = [], []
+    for violation in violations:
+        key = violation.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            baselined.append(violation)
+        else:
+            fresh.append(violation)
+    return fresh, baselined
+
+
+def write_baseline(path, violations, note=None):
+    """Write ``violations`` as the new baseline for ``path``."""
+    counts = Counter(v.baseline_key() for v in violations)
+    entries = [
+        {"rule": rule, "path": key_path, "line_text": line_text,
+         "count": count}
+        for (rule, key_path, line_text), count in sorted(counts.items())
+    ]
+    data = {
+        "version": BASELINE_VERSION,
+        "note": note or (
+            "Known pre-existing violations, matched by (rule, module, "
+            "source text). Burn entries down to zero; never add to this "
+            "file to ship a new violation."
+        ),
+        "entries": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return len(entries)
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Pragma",
+    "apply_baseline",
+    "apply_pragmas",
+    "collect_pragmas",
+    "load_baseline",
+    "write_baseline",
+]

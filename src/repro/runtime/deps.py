@@ -119,4 +119,8 @@ class DependenceAnalyzer:
         """
         deps = frozenset(outstanding)
         self._state.clear()
-        return TaskDependencies(uid, deps, {u: DependenceType.TRUE for u in deps})
+        # Sorted so the mapping's insertion order (which downstream code
+        # may iterate) never inherits set order.
+        return TaskDependencies(
+            uid, deps, {u: DependenceType.TRUE for u in sorted(deps)}
+        )

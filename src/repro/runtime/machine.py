@@ -14,6 +14,8 @@ relative throughput, and interconnect latency/bandwidth.
 
 from dataclasses import dataclass
 
+from repro.registry import Registry
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -74,4 +76,4 @@ EOS = MachineConfig(
     network_bandwidth=4.0e10,
 )
 
-MACHINES = {m.name: m for m in (PERLMUTTER, EOS)}
+MACHINES = Registry("machine", {m.name: m for m in (PERLMUTTER, EOS)})

@@ -364,8 +364,8 @@ class ReplicatedBackend:
                 self.runtime_factory.create(_node_key(session_id, node)).runtime
                 for node in range(nodes)
             ]
-        # One resolution of the mining algorithm (and one REPRO_SA_BACKEND
-        # read) for the whole replica set, and one shared per-session memo:
+        # One resolution of the mining algorithm for the whole replica
+        # set, and one shared per-session memo:
         # replicas mine byte-identical windows, so node 0's analysis
         # answers nodes 1..N-1 -- decision-neutral because results are
         # pure functions of the window.

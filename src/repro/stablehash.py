@@ -1,0 +1,70 @@
+"""Process-stable hashing for identities that cross process boundaries.
+
+Python's builtin ``hash`` randomizes str/bytes hashing per process
+(``PYTHONHASHSEED``), so it must never back an identity that two
+processes -- or the N replicas of one session, or a future
+``multiprocessing`` shard -- need to agree on. This module is the one
+sanctioned alternative (lint rule ``RPL003`` points here): a CRC32 over
+the canonical ``repr``, plus the SplitMix64-style mixer the fault
+harness uses to turn (seed, stream, sequence) into reproducible
+per-event randomness.
+
+Hoisted out of :mod:`repro.faults` (which defined it first, because
+fault schedules must be identical across the replicas of a session) so
+``SessionSnapshot.stable_digest`` and future sharded/multiprocess
+backends share one implementation. The bit-for-bit output of both
+functions is load-bearing: recorded chaos runs and cross-process
+snapshot comparisons reproduce only if these never change.
+"""
+
+import zlib
+
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash(obj):
+    """Stable 32-bit hash of ``obj``, identical across processes.
+
+    Hashes the canonical ``repr``, so it is defined for any object whose
+    ``repr`` is deterministic -- ints, strings, and nested tuples of
+    them, which covers token streams, stream keys, and decision traces.
+    Deliberately *not* Python's ``hash()``: see the module docstring.
+    """
+    return zlib.crc32(repr(obj).encode("utf-8"))
+
+
+def stable_digest(obj):
+    """Hex digest form of :func:`stable_hash`, mixed to 64 bits.
+
+    The CRC of the repr seeds a 64-bit finalizer together with the
+    repr's length, so the digest distinguishes more than 32 bits of
+    state while staying cheap and dependency-free. Suitable for
+    comparing decision snapshots across processes (``SessionSnapshot
+    .stable_digest``); not a cryptographic hash.
+    """
+    text = repr(obj).encode("utf-8")
+    return f"{mix64(zlib.crc32(text), len(text), 0):016x}"
+
+
+def mix64(a, b, c):
+    """SplitMix64-style mix of three integers into a u64.
+
+    The fault harness keys injected faults on
+    ``mix64(seed, stable_hash(stream), job_seq)``; keep the constants
+    frozen or recorded chaos runs stop reproducing.
+    """
+    x = (
+        a * 0x9E3779B97F4A7C15
+        + b * 0xBF58476D1CE4E5B9
+        + c * 0x94D049BB133111EB
+        + 0x2545F4914F6CDD1D
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+__all__ = ["mix64", "stable_digest", "stable_hash"]

@@ -137,17 +137,17 @@ class TestSelection:
         assert resolve_backend_name("radix") == "radix"
         assert get_backend("doubling") is BACKENDS["doubling"]
 
-    def test_env_overrides_everything(self, monkeypatch):
+    def test_resolution_is_pure(self, monkeypatch):
+        # resolve_backend_name is a pure function of its argument: the
+        # REPRO_SA_BACKEND override is config layering (build_config),
+        # not backend resolution.
         monkeypatch.setenv(ENV_VAR, "doubling")
-        assert resolve_backend_name() == "doubling"
-        assert resolve_backend_name("sais") == "doubling"
+        assert resolve_backend_name() == DEFAULT_BACKEND
+        assert resolve_backend_name("sais") == "sais"
 
-    def test_unknown_name_rejected(self, monkeypatch):
+    def test_unknown_name_rejected(self):
         with pytest.raises(ValueError):
             resolve_backend_name("btree")
-        monkeypatch.setenv(ENV_VAR, "btree")
-        with pytest.raises(ValueError):
-            resolve_backend_name()
 
     def test_callable_passthrough(self):
         build = BACKENDS["radix"]
@@ -163,7 +163,7 @@ class TestSelection:
         assert [r.tokens for r in algorithm(list("ababab"), 2)] == [("a", "b")]
 
     def test_config_binding_ignores_later_env_changes(self, monkeypatch):
-        # The env override is read once, at processor construction; a
+        # The backend callable is bound at processor construction; an env
         # mutation mid-run must not silently switch (or break) mining.
         from repro.core.processor import _resolve_repeats_algorithm
 
@@ -172,6 +172,57 @@ class TestSelection:
         )
         monkeypatch.setenv(ENV_VAR, "not-a-backend")
         assert [r.tokens for r in algorithm(list("ababab"), 2)] == [("a", "b")]
+
+
+class TestEnvPrecedenceThroughConfig:
+    """The documented REPRO_SA_BACKEND contract, now owned by build_config.
+
+    Environment beats code at the api surface -- including over an
+    explicit config, the one env exception on that path -- while backend
+    resolution itself stays pure (see TestSelection above).
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+
+    def test_env_beats_profile_and_overrides(self, monkeypatch):
+        from repro.api import build_config
+
+        monkeypatch.setenv(ENV_VAR, "doubling")
+        assert build_config().sa_backend == "doubling"
+        assert build_config(sa_backend="radix").sa_backend == "doubling"
+
+    def test_env_beats_explicit_config(self, monkeypatch):
+        from repro.api import build_config
+        from repro.core.processor import ApopheniaConfig
+
+        monkeypatch.setenv(ENV_VAR, "radix")
+        cfg = build_config(config=ApopheniaConfig(sa_backend="sais"))
+        assert cfg.sa_backend == "radix"
+
+    def test_explicit_config_pins_other_knobs(self, monkeypatch):
+        # Only the documented SA-backend exception layers onto an
+        # explicit config; every other REPRO_* variable is ignored there.
+        from repro.api import build_config
+        from repro.core.processor import ApopheniaConfig
+
+        monkeypatch.setenv("REPRO_BATCHSIZE", "77")
+        cfg = build_config(config=ApopheniaConfig(batchsize=500))
+        assert cfg.batchsize == 500
+
+    def test_bad_env_backend_raises(self, monkeypatch):
+        from repro.api import build_config
+
+        monkeypatch.setenv(ENV_VAR, "btree")
+        with pytest.raises(ValueError):
+            build_config()
+
+    def test_apps_pick_up_env_backend(self, monkeypatch):
+        from repro.apps.base import AppConfig
+
+        monkeypatch.setenv(ENV_VAR, "doubling")
+        assert AppConfig(mode="auto").apophenia.sa_backend == "doubling"
 
 
 @pytest.mark.perf_smoke

@@ -1,0 +1,90 @@
+"""repro.stablehash: the sanctioned cross-process hash (lint rule RPL003).
+
+The output of these functions is load-bearing bit for bit: the fault
+harness keys injected faults on ``mix64(seed, stable_hash(stream),
+job_seq)``, so recorded chaos runs reproduce only if the constants never
+change, and ``SessionSnapshot.stable_digest`` is only useful if two
+processes (with different ``PYTHONHASHSEED``) compute the same digest.
+The pinned values below freeze the contract.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.stablehash import mix64, stable_digest, stable_hash
+
+
+class TestFrozenOutputs:
+    """Golden values: a change here breaks recorded chaos runs."""
+
+    def test_stable_hash_pinned(self):
+        assert stable_hash(("a", "b", 1)) == 1095318834
+        assert stable_hash(None) == 3751981041
+        assert stable_hash(0) == 4108050209
+
+    def test_stable_digest_pinned(self):
+        assert stable_digest(("a", "b", 1)) == "2b058dd3cb5334bc"
+
+    def test_mix64_pinned(self):
+        assert mix64(1234, 5678, 9) == 6495662942632087376
+
+    def test_digest_shape(self):
+        digest = stable_digest(("x",) * 100)
+        assert len(digest) == 16
+        int(digest, 16)  # valid hex
+
+
+class TestProperties:
+    def test_distinguishes_values(self):
+        objs = [(), ("a",), ("b",), ("a", "b"), (1,), ("1",), None, 0]
+        digests = [stable_digest(o) for o in objs]
+        assert len(set(digests)) == len(objs)
+
+    def test_mix64_stays_in_u64(self):
+        for args in [(0, 0, 0), (2**64 - 1,) * 3, (1, 2, 3)]:
+            assert 0 <= mix64(*args) < 2**64
+
+    def test_faults_module_uses_this_implementation(self):
+        # The hoist from repro.faults must not have forked the function.
+        from repro import faults
+
+        assert faults.mix64 is mix64
+        assert faults._stream_hash(("s", 1)) == stable_hash(("s", 1))
+        assert faults._stream_hash(None) == 0  # the documented special case
+
+
+@pytest.mark.parametrize("seed", ["0", "1", "12345"])
+def test_stable_across_hash_randomization(seed):
+    """The whole point: identical output under any PYTHONHASHSEED."""
+    code = (
+        "from repro.stablehash import stable_digest;"
+        "print(stable_digest(('stream', 'alpha', ('t1', 't2'), 42)))"
+    )
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True, env=env,
+    ).stdout.strip()
+    assert out == stable_digest(("stream", "alpha", ("t1", "t2"), 42))
+
+
+def test_session_snapshot_digest():
+    """SessionSnapshot.stable_digest: equal decisions, equal digest."""
+    from repro.api import SessionSnapshot
+
+    def snap(trace):
+        return SessionSnapshot("s", "standalone", tuple(trace), (1, 2, 3))
+
+    a = snap([("trace", "t1"), ("commit", "t2")])
+    b = snap([("trace", "t1"), ("commit", "t2")])
+    c = snap([("trace", "t1")])
+    assert a.stable_digest() == b.stable_digest()
+    assert a.stable_digest() != c.stable_digest()
+    assert len(a.stable_digest()) == 16
+    # Unlike __hash__/__eq__ (intra-process, PYTHONHASHSEED-dependent),
+    # the digest is a pure function of the decision tuple.
+    assert a.stable_digest() == stable_digest(a.decisions)
