@@ -1,6 +1,6 @@
 # Convenience targets; see ROADMAP.md for the canonical commands.
 
-.PHONY: verify verify-full verify-chaos test bench service-bench replayer-bench api-check lint lint-baseline
+.PHONY: verify verify-full verify-chaos test bench service-bench replayer-bench api-check lint lint-baseline corpus trace-check
 
 ## Tier-1 tests plus the perf_smoke guards (the pre-commit check).
 verify:
@@ -39,3 +39,12 @@ lint:
 ## Accept the current violation set as the new baseline (review the diff!).
 lint-baseline:
 	PYTHONPATH=src python -m repro.lint src --write-baseline
+
+## The trace capture/re-drive corpus suites on their own.
+trace-check:
+	PYTHONPATH=src python -m pytest -x -q -m trace tests
+
+## Regenerate the re-drive corpus fixtures (review the diff! -- same
+## accept-the-delta workflow as lint-baseline).
+corpus:
+	PYTHONPATH=src python -m repro.trace corpus tests/corpus

@@ -40,6 +40,14 @@ python -m pytest -x -q -m replication tests
 echo "== chaos (fault injection) suite"
 python -m pytest -x -q -m faults tests
 
+# Trace corpus: every checked-in fixture under tests/corpus/ must parse
+# canonically and re-drive to a byte-identical decision stream on every
+# tracing backend (plus the phase-graph generator's determinism laws).
+# Already part of tests/ above; this step gives corpus regressions their
+# own unmistakable step name. Regenerate fixtures with `make corpus`.
+echo "== trace corpus"
+python -m pytest -x -q -m trace tests
+
 # Fast floors over the two perf-tracked hot paths: suffix-array backend
 # equivalence (tests/) and the replayer match-engine speedup
 # (benchmarks/test_perf_replayer.py::test_perf_replayer_smoke), plus the

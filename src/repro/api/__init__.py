@@ -57,12 +57,15 @@ def registries():
     """Every plugin registry in the system, by name.
 
     One introspection point over the unified registry pattern: tracing
-    backends, configuration profiles, suffix-array backends, and
-    applications. Imported lazily so ``repro.api`` itself stays light.
+    backends, configuration profiles, suffix-array backends,
+    applications, fault plans, trace formats, and phase graphs.
+    Imported lazily so ``repro.api`` itself stays light.
     """
     from repro.apps.base import APP_REGISTRY
+    from repro.apps.generative import PHASE_GRAPHS
     from repro.core.sa_backends import BACKENDS
     from repro.faults import FAULT_PLANS
+    from repro.trace.format import TRACE_FORMATS
 
     return {
         "tracing_backends": TRACING_BACKENDS,
@@ -70,7 +73,27 @@ def registries():
         "sa_backends": BACKENDS,
         "apps": APP_REGISTRY,
         "fault_plans": FAULT_PLANS,
+        "trace_formats": TRACE_FORMATS,
+        "phase_graphs": PHASE_GRAPHS,
     }
+
+
+#: Trace capture/re-drive entry points, resolved lazily (PEP 562):
+#: ``repro.trace`` imports this package for the session facade, so an
+#: eager import here would be circular.
+_TRACE_EXPORTS = {
+    "TraceRecorder": "repro.trace.recorder",
+    "TraceReplayHarness": "repro.trace.replay",
+}
+
+
+def __getattr__(name):
+    target = _TRACE_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(target), name)
 
 
 __all__ = [
@@ -89,6 +112,8 @@ __all__ = [
     "SessionStats",
     "StandaloneBackend",
     "TRACING_BACKENDS",
+    "TraceRecorder",
+    "TraceReplayHarness",
     "TracingBackend",
     "build_config",
     "collect_session_stats",

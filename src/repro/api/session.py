@@ -286,7 +286,8 @@ class Session:
     deployment-specific object underneath.
     """
 
-    __slots__ = ("session_id", "backend", "handle", "owns_backend", "closed")
+    __slots__ = ("session_id", "backend", "handle", "owns_backend", "closed",
+                 "recorder")
 
     def __init__(self, session_id, backend, handle, owns_backend):
         self.session_id = session_id
@@ -294,6 +295,7 @@ class Session:
         self.handle = handle
         self.owns_backend = owns_backend
         self.closed = False
+        self.recorder = None
 
     def _check_open(self):
         """Raise :class:`SessionClosedError` if this facade is closed.
@@ -314,6 +316,10 @@ class Session:
     def submit(self, task):
         """Issue one task through the session's tracing pipeline."""
         self._check_open()
+        if self.recorder is not None:
+            # Recorded before the serving path sees the task: capture
+            # observes the stream as issued and cannot perturb decisions.
+            self.recorder.on_task(task)
         self.handle.execute_task(task)
 
     #: Alias so a :class:`Session` is a drop-in executor anywhere an
@@ -323,12 +329,51 @@ class Session:
 
     def set_iteration(self, iteration):
         self._check_open()
+        if self.recorder is not None:
+            self.recorder.on_iteration(iteration)
         self.handle.set_iteration(iteration)
 
     def flush(self):
         """Drain all buffered tasks (program end, or a fence)."""
         self._check_open()
+        if self.recorder is not None:
+            self.recorder.on_flush()
         self.handle.flush()
+
+    # ------------------------------------------------------------------
+    # Trace capture (see repro.trace)
+    # ------------------------------------------------------------------
+    def record_to(self, recorder):
+        """Attach a :class:`~repro.trace.TraceRecorder` to this session.
+
+        From here on, every ``submit`` / ``set_iteration`` / ``flush``
+        is captured. One recorder per session; returns the recorder.
+        """
+        self._check_open()
+        if self.recorder is not None:
+            raise ValueError(
+                f"session {self.session_id!r} is already being recorded"
+            )
+        recorder.on_open(self)
+        self.recorder = recorder
+        return recorder
+
+    def stop_recording(self):
+        """Finalize and detach the recorder; returns it (or ``None``).
+
+        Flushes first -- while still recording, so the trace ends on the
+        same fence the capture session's final decisions reflect -- then
+        stamps the recorder's footer with this session's snapshot.
+        ``close()`` calls this automatically for a still-attached
+        recorder.
+        """
+        if self.recorder is None:
+            return None
+        self._check_open()
+        self.flush()
+        recorder, self.recorder = self.recorder, None
+        recorder.on_close(self.snapshot(), self.stats())
+        return recorder
 
     # ------------------------------------------------------------------
     # Introspection
@@ -369,13 +414,18 @@ class Session:
         """
         if self.closed:
             return
-        self.closed = True
-        if getattr(self.handle, "closed", False):
-            return  # evicted (and flushed) by the backend already
         try:
-            self.backend.close_session(self.session_id)
-        except KeyError:  # replint: allow[RPL006] idempotent close: KeyError only means the backend (LRU eviction) closed and flushed this session first
-            pass
+            if self.recorder is not None and \
+                    not getattr(self.handle, "closed", False):
+                self.stop_recording()
+        finally:
+            self.recorder = None
+            self.closed = True
+            if not getattr(self.handle, "closed", False):
+                try:
+                    self.backend.close_session(self.session_id)
+                except KeyError:  # replint: allow[RPL006] idempotent close: KeyError only means the backend (LRU eviction) closed and flushed this session first
+                    pass
 
     def __enter__(self):
         return self
@@ -394,7 +444,7 @@ class Session:
 
 def open_session(session_id=None, *, backend="standalone", config=None,
                  profile=None, runtime=None, node_id=0, priority=0,
-                 env=None, **overrides):
+                 env=None, recorder=None, **overrides):
     """Open a tracing session on any deployment; returns a :class:`Session`.
 
     Parameters
@@ -421,6 +471,10 @@ def open_session(session_id=None, *, backend="standalone", config=None,
     node_id / priority:
         Replication node id, and the session's scheduling class on
         shared backends (lower serves first).
+    recorder:
+        Optional :class:`~repro.trace.TraceRecorder` attached from the
+        first task (``session.record_to`` after the fact also works);
+        ``close()`` finalizes it.
     """
     if session_id is None:
         session_id = f"session-{next(_AUTO_IDS)}"
@@ -447,7 +501,10 @@ def open_session(session_id=None, *, backend="standalone", config=None,
         node_id=node_id,
         priority=priority,
     )
-    return Session(session_id, backend_obj, handle, owns_backend)
+    session = Session(session_id, backend_obj, handle, owns_backend)
+    if recorder is not None:
+        session.record_to(recorder)
+    return session
 
 
 __all__ = [

@@ -20,6 +20,11 @@ costs -- rather than its numerics:
   examples and tests.
 * :mod:`repro.apps.jacobi` -- the paper's Figure 1 Jacobi-iteration
   motivating example, written against :mod:`repro.arrays`.
+* :mod:`repro.apps.generative` -- the phase-graph workload generator:
+  declarative :class:`PhaseGraph` specs (task mixes, weighted
+  transitions, burst/drift knobs, nested sub-periods) drive seeded,
+  fully deterministic non-periodic streams for the trace corpus and the
+  chaos/perf suites.
 """
 
 from repro.apps.base import (
@@ -35,6 +40,7 @@ from repro.apps.cfd import CFD
 from repro.apps.torchswe import TorchSWE
 from repro.apps.flexflow import FlexFlow
 from repro.apps.stencil import Stencil
+from repro.apps.generative import PHASE_GRAPHS, Generative, PhaseGraph
 from repro.apps.jacobi import jacobi_task_stream
 
 __all__ = [
@@ -49,5 +55,8 @@ __all__ = [
     "TorchSWE",
     "FlexFlow",
     "Stencil",
+    "Generative",
+    "PhaseGraph",
+    "PHASE_GRAPHS",
     "jacobi_task_stream",
 ]

@@ -9,7 +9,8 @@ Usage::
 Figures: fig6a fig6b fig7a fig7b fig8 fig9 fig10 sec63
 Extras (not paper figures): service (multi-tenant aggregate throughput),
 replayer (serving-path tokens/sec per match engine), replication
-(Section 5.1 agreement-margin convergence on the replicated backend)
+(Section 5.1 agreement-margin convergence on the replicated backend),
+trace (corpus-wide capture/re-drive parity matrix across backends)
 """
 
 import sys
@@ -26,6 +27,7 @@ from repro.experiments.report import (
     format_weak_scaling,
 )
 from repro.experiments.strong_scaling import flexflow_strong_scaling
+from repro.experiments.trace_redrive import main as run_trace_redrive
 from repro.experiments.trace_search import trace_search_timeline
 from repro.experiments.warmup import warmup_table
 from repro.experiments.weak_scaling import WEAK_SCALING_FIGURES, weak_scaling
@@ -78,6 +80,7 @@ RUNNERS = Registry("experiment", {
     "service": run_service_bench,
     "replayer": run_replayer_bench,
     "replication": run_replication,
+    "trace": run_trace_redrive,
 })
 
 

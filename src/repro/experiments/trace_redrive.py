@@ -1,0 +1,50 @@
+"""Corpus-wide re-drive parity: every fixture against every backend.
+
+Captures each :data:`~repro.trace.corpus.CORPUS_ENTRIES` stream
+in-memory (same generators as the checked-in ``tests/corpus``
+fixtures), then re-drives it on every tracing backend and reports the
+parity verdict plus the replay fraction the decision stream reached.
+All cells read ``ok`` iff the acceptance property holds: one captured
+stream, three deployments, byte-identical tbegin/tend decisions.
+
+Run via ``python -m repro.experiments trace``.
+"""
+
+from repro.experiments.report import format_table
+from repro.trace.corpus import CORPUS_ENTRIES
+from repro.trace.replay import REPLAY_BACKENDS, replay_on_all
+
+
+def redrive_matrix(names=None):
+    """``{entry: (document, {backend: ReplayVerdict})}`` for the corpus."""
+    matrix = {}
+    for name in names or sorted(CORPUS_ENTRIES):
+        document = CORPUS_ENTRIES[name]()
+        matrix[name] = (document, replay_on_all(document))
+    return matrix
+
+
+def main():
+    matrix = redrive_matrix()
+    rows = []
+    diverged = 0
+    for name, (document, verdicts) in matrix.items():
+        replay = document.footer["gauges"]["replay_fraction"]
+        cells = []
+        for backend in REPLAY_BACKENDS:
+            verdict = verdicts[backend]
+            cells.append("ok" if verdict.matched else "DIVERGED")
+            diverged += 0 if verdict.matched else 1
+        rows.append([name, document.num_tasks, f"{replay:.1%}", *cells])
+    print(format_table(
+        ["entry", "tasks", "replay", *REPLAY_BACKENDS], rows,
+        title="trace corpus re-drive parity",
+    ))
+    if diverged:
+        print(f"{diverged} re-drive(s) DIVERGED from the capture digest")
+    else:
+        print("all re-drives byte-identical to capture")
+
+
+if __name__ == "__main__":
+    main()

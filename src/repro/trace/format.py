@@ -1,0 +1,401 @@
+"""The versioned JSON-lines trace format (schema v1).
+
+A trace file is one JSON object per line:
+
+* line 1 -- the **header**: format name, schema version, the identity of
+  the captured session, and the decision-relevant slice of its
+  :class:`~repro.core.processor.ApopheniaConfig` (so a re-drive can
+  reproduce the exact mining/serving schedule);
+* **topology** records (``region`` / ``partition``) interleaved before
+  first use: enough of the region tree -- uids, fields, partition kinds,
+  colors -- to rebuild shadow regions whose signatures hash to the exact
+  tokens of the original run (token identity embeds ``region.uid``, see
+  :meth:`repro.runtime.task.RegionRequirement.signature`);
+* **event** records in stream order: ``iteration`` marks, ``task``
+  submissions (full signature plus cost-model inputs), and ``flush``
+  fences;
+* the last line -- the **footer**: event/task counts, a
+  :func:`~repro.stablehash.stable_digest` over the canonical event
+  stream (file integrity, checkable in any process), and the digest of
+  the capture session's :class:`~repro.api.SessionSnapshot` decisions
+  (the byte-identity target a re-drive must hit).
+
+Schema versions are plugin points in :data:`TRACE_FORMATS`; readers
+dispatch on the header's ``version`` so future schemas can coexist with
+checked-in v1 corpus files.
+"""
+
+import json
+
+from repro.registry import Registry
+from repro.stablehash import stable_digest
+
+FORMAT_NAME = "repro-trace"
+
+#: JSON-scalar types a trace record field may carry.
+_SCALARS = (bool, int, float, str)
+
+
+class TraceFormatError(ValueError):
+    """A trace document violated the schema (or its integrity stamp)."""
+
+
+def _require(record, field, types, kind):
+    value = record.get(field, _MISSING)
+    if value is _MISSING:
+        raise TraceFormatError(f"{kind} record is missing {field!r}: {record}")
+    if not isinstance(value, types):
+        raise TraceFormatError(
+            f"{kind} record field {field!r} must be "
+            f"{'/'.join(t.__name__ for t in types)}, "
+            f"got {type(value).__name__}: {record}"
+        )
+    return value
+
+
+_MISSING = object()
+
+#: ``ApopheniaConfig`` fields serialized into the header. Only
+#: JSON-scalar (or ``None``) values are recorded; a callable knob (a
+#: custom ``repeats_algorithm``, a live fault plan) is dropped and its
+#: name listed under ``config_dropped`` so the reader knows the recorded
+#: config is partial.
+CONFIG_FIELDS = (
+    "min_trace_length",
+    "max_trace_length",
+    "batchsize",
+    "multi_scale_factor",
+    "identifier_algorithm",
+    "repeats_algorithm",
+    "sa_backend",
+    "mining_memo_capacity",
+    "count_cap",
+    "decay_rate",
+    "replay_bonus",
+    "hysteresis",
+    "match_engine",
+    "job_base_latency_ops",
+    "job_per_token_latency_ops",
+    "initial_ingest_margin_ops",
+    "num_nodes",
+    "max_sessions",
+    "max_outstanding_jobs",
+    "shared_memo_capacity",
+    "shared_memo_token_budget",
+    "lane_outstanding_quota",
+    "fault_plan",
+    "mining_deadline_tokens",
+    "fault_quarantine_threshold",
+)
+
+
+def config_to_dict(config):
+    """``(serializable_fields, dropped_names)`` for a config object.
+
+    ``fault_plan`` spec *strings* survive (they are how chaos runs are
+    recorded everywhere else); resolved plan objects and callable knobs
+    do not -- they are reported as dropped rather than silently lost.
+    """
+    fields, dropped = {}, []
+    for name in CONFIG_FIELDS:
+        value = getattr(config, name, None)
+        if value is None or isinstance(value, _SCALARS):
+            fields[name] = value
+        else:
+            dropped.append(name)
+    return fields, dropped
+
+
+def config_from_dict(fields):
+    """Rebuild an :class:`~repro.core.processor.ApopheniaConfig`."""
+    from repro.core.processor import ApopheniaConfig
+
+    known = {k: v for k, v in fields.items() if k in CONFIG_FIELDS}
+    return ApopheniaConfig(**known)
+
+
+class TraceFormatV1:
+    """Schema v1: validation and canonical event keys."""
+
+    version = 1
+
+    #: record kind -> (field, allowed scalar types, nullable)
+    _SCHEMAS = {
+        "header": (
+            ("format", (str,), False),
+            ("version", (int,), False),
+            ("session_id", (str,), True),
+            ("backend", (str,), True),
+            ("app", (str,), True),
+            ("config", (dict,), False),
+            ("config_dropped", (list,), False),
+            ("meta", (dict,), False),
+        ),
+        "region": (
+            ("uid", (int,), False),
+            ("extent", (list,), False),
+            ("fields", (list,), False),
+            ("name", (str,), False),
+            ("partition", (int,), True),
+            ("color", (int, str), True),
+        ),
+        "partition": (
+            ("uid", (int,), False),
+            ("region", (int,), False),
+            ("kind", (str,), False),
+            ("name", (str,), False),
+        ),
+        "task": (
+            ("name", (str,), False),
+            ("reqs", (list,), False),
+            ("exec_cost", (int, float), False),
+            ("comm_cost", (int, float), False),
+        ),
+        "iteration": (
+            ("index", (int,), False),
+        ),
+        "flush": (),
+        "end": (
+            ("events", (int,), False),
+            ("tasks", (int,), False),
+            ("stream_digest", (str,), False),
+            ("decisions_digest", (str,), False),
+            ("replayer", (list,), False),
+            ("gauges", (dict,), False),
+        ),
+    }
+
+    @classmethod
+    def validate(cls, record):
+        """Check one parsed record against the schema; returns it."""
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"trace line is not an object: {record!r}")
+        kind = _require(record, "record", (str,), "trace")
+        schema = cls._SCHEMAS.get(kind)
+        if schema is None:
+            raise TraceFormatError(f"unknown record kind {kind!r}")
+        for field, types, nullable in schema:
+            if nullable and record.get(field) is None:
+                if field not in record:
+                    raise TraceFormatError(
+                        f"{kind} record is missing {field!r}: {record}"
+                    )
+                continue
+            _require(record, field, types, kind)
+        if kind == "task":
+            cls._validate_reqs(record["reqs"])
+        if kind == "header":
+            if record["format"] != FORMAT_NAME:
+                raise TraceFormatError(
+                    f"not a {FORMAT_NAME} file: format={record['format']!r}"
+                )
+            if record["version"] != cls.version:
+                raise TraceFormatError(
+                    f"schema v{cls.version} reader cannot load "
+                    f"version {record['version']!r}"
+                )
+        return record
+
+    @staticmethod
+    def _validate_reqs(reqs):
+        for req in reqs:
+            if (not isinstance(req, list) or len(req) != 4
+                    or not isinstance(req[0], int)
+                    or not isinstance(req[1], str)
+                    or not isinstance(req[2], list)
+                    or not (req[3] is None or isinstance(req[3], str))):
+                raise TraceFormatError(
+                    "task requirement must be "
+                    f"[region_uid, privilege, [fields...], redop], got {req!r}"
+                )
+
+    @staticmethod
+    def event_key(record):
+        """The canonical tuple one event contributes to the stream digest.
+
+        Topology records are derived bookkeeping (they repeat what the
+        task signatures pin down), so only genuine stream events --
+        iteration marks, task submissions, flush fences -- are keyed.
+        """
+        kind = record["record"]
+        if kind == "task":
+            return (
+                "task",
+                record["name"],
+                tuple(
+                    (uid, privilege, tuple(fields), redop)
+                    for uid, privilege, fields, redop in record["reqs"]
+                ),
+            )
+        if kind == "iteration":
+            return ("iteration", record["index"])
+        if kind == "flush":
+            return ("flush",)
+        return None
+
+
+#: Schema plugin point: ``"v<version>" -> format class``.
+TRACE_FORMATS = Registry("trace format", {"v1": TraceFormatV1})
+
+
+def format_for_version(version):
+    """Look up the schema class serving ``version``."""
+    return TRACE_FORMATS[f"v{version}"]
+
+
+def stream_digest(records):
+    """Process-stable digest of the canonical event stream."""
+    keys = []
+    for record in records:
+        key = TraceFormatV1.event_key(record)
+        if key is not None:
+            keys.append(key)
+    return stable_digest(tuple(keys))
+
+
+class TraceDocument:
+    """A parsed (or under-construction) trace: header, records, footer.
+
+    ``records`` holds topology and event records in capture order;
+    ``header``/``footer`` are the first/last lines. Serialization is
+    canonical (sorted keys, minimal separators), so an unchanged capture
+    re-serializes byte-identically -- the property ``make corpus``'s
+    diff-review workflow rests on.
+    """
+
+    __slots__ = ("header", "records", "footer")
+
+    def __init__(self, header, records, footer):
+        self.header = header
+        self.records = records
+        self.footer = footer
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version(self):
+        return self.header["version"]
+
+    @property
+    def app(self):
+        return self.header.get("app")
+
+    @property
+    def session_id(self):
+        return self.header.get("session_id")
+
+    @property
+    def num_tasks(self):
+        return self.footer["tasks"]
+
+    def config(self):
+        """The recorded :class:`ApopheniaConfig` (dropped fields default)."""
+        return config_from_dict(self.header["config"])
+
+    def events(self):
+        """Iterate the stream events (iteration/task/flush) in order."""
+        for record in self.records:
+            if record["record"] in ("iteration", "task", "flush"):
+                yield record
+
+    def topology(self):
+        """Iterate the region/partition declarations in order."""
+        for record in self.records:
+            if record["record"] in ("region", "partition"):
+                yield record
+
+    def stream_digest(self):
+        """Recompute the event-stream digest from the records."""
+        return stream_digest(self.records)
+
+    def verify(self):
+        """Check the footer's integrity stamp; returns ``self``.
+
+        Raises :class:`TraceFormatError` when the recorded events no
+        longer hash to the footer's ``stream_digest`` -- a corrupted or
+        hand-edited corpus file fails here, before any re-drive
+        interprets it.
+        """
+        recorded = self.footer["stream_digest"]
+        actual = self.stream_digest()
+        if recorded != actual:
+            raise TraceFormatError(
+                f"stream digest mismatch: footer says {recorded}, "
+                f"events hash to {actual}"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def lines(self):
+        yield self.header
+        yield from self.records
+        yield self.footer
+
+    def dumps(self):
+        """The canonical JSON-lines text of this document."""
+        return "".join(
+            json.dumps(line, sort_keys=True, separators=(",", ":")) + "\n"
+            for line in self.lines()
+        )
+
+    def dump(self, path):
+        """Write the document to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+        return path
+
+    @classmethod
+    def loads(cls, text):
+        """Parse and schema-check a JSON-lines trace document."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if len(lines) < 2:
+            raise TraceFormatError(
+                f"trace document needs a header and a footer, "
+                f"got {len(lines)} line(s)"
+            )
+        parsed = []
+        for lineno, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            parsed.append(record)
+        header = parsed[0]
+        if not isinstance(header, dict) or header.get("record") != "header":
+            raise TraceFormatError("first line must be the header record")
+        if header.get("format") != FORMAT_NAME:
+            raise TraceFormatError(
+                f"not a {FORMAT_NAME} file: format={header.get('format')!r}"
+            )
+        version = header.get("version")
+        try:
+            schema = format_for_version(version)
+        except (KeyError, ValueError) as exc:
+            raise TraceFormatError(
+                f"no reader for schema version {version!r}; "
+                f"known: {TRACE_FORMATS.names()}"
+            ) from exc
+        footer = parsed[-1]
+        if not isinstance(footer, dict) or footer.get("record") != "end":
+            raise TraceFormatError("last line must be the end record")
+        for record in parsed:
+            schema.validate(record)
+        return cls(header, parsed[1:-1], footer)
+
+    @classmethod
+    def load(cls, path):
+        """Read, schema-check, and integrity-check a trace file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        return cls.loads(text).verify()
+
+    def __repr__(self):
+        return (
+            f"TraceDocument(app={self.app!r}, tasks={self.num_tasks}, "
+            f"digest={self.footer['decisions_digest']})"
+        )

@@ -399,7 +399,7 @@ class TestRegistries:
         registries = api.registries()
         assert set(registries) == {
             "tracing_backends", "config_profiles", "sa_backends", "apps",
-            "fault_plans",
+            "fault_plans", "trace_formats", "phase_graphs",
         }
         for registry in registries.values():
             assert isinstance(registry, Registry)

@@ -48,6 +48,8 @@ REPRO_API_ALL = [
     "SessionStats",
     "StandaloneBackend",
     "TRACING_BACKENDS",
+    "TraceRecorder",
+    "TraceReplayHarness",
     "TracingBackend",
     "build_config",
     "collect_session_stats",

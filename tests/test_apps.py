@@ -15,7 +15,8 @@ FAST = dict(task_scale=0.1, analysis_mode="fast")
 class TestRegistry:
     def test_all_apps_registered(self):
         assert set(APP_REGISTRY) == {
-            "s3d", "htr", "cfd", "torchswe", "flexflow", "stencil"
+            "s3d", "htr", "cfd", "torchswe", "flexflow", "stencil",
+            "generative",
         }
 
     def test_unknown_app(self):

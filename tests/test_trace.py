@@ -1,0 +1,330 @@
+"""repro.trace: format integrity, corpus re-drive parity, generator laws.
+
+The acceptance property of the trace subsystem is encoded here over the
+checked-in fixtures under ``tests/corpus/``: every captured stream must
+re-drive to a byte-identical decision stream on every tracing backend.
+The fixtures are regenerated with ``make corpus`` (diff-review workflow,
+like ``make lint-baseline``); the canonical-serialization tests below
+are what make that diff meaningful.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.api as api
+from repro.apps.generative import PHASE_GRAPHS, PhaseGraph
+from repro.core.hashing import TaskHasher
+from repro.registry import Registry
+from repro.trace import (
+    REPLAY_BACKENDS,
+    TraceDocument,
+    TraceFormatError,
+    TraceFormatV1,
+    TraceRecorder,
+    TraceReplayHarness,
+    rebuild_forest,
+    replay_on_all,
+)
+from repro.trace.corpus import (
+    CORPUS_CONFIG,
+    CORPUS_ENTRIES,
+    corpus_path,
+    generative_stream,
+    record_stream,
+)
+from repro.trace.format import config_from_dict, config_to_dict
+
+pytestmark = pytest.mark.trace
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_NAMES = sorted(CORPUS_ENTRIES)
+
+
+@pytest.fixture(scope="module")
+def corpus_docs():
+    """Every checked-in fixture, loaded (and integrity-checked) once."""
+    return {
+        name: TraceDocument.load(corpus_path(CORPUS_DIR, name))
+        for name in CORPUS_NAMES
+    }
+
+
+class TestCorpusIntegrity:
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_fixture_checked_in(self, name):
+        assert os.path.exists(corpus_path(CORPUS_DIR, name)), (
+            f"missing corpus fixture {name}; run `make corpus`"
+        )
+
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_json_round_trip_is_byte_identical(self, name, corpus_docs):
+        """load -> dumps reproduces the file byte for byte (canonical
+        serialization is what makes the `make corpus` diff a review)."""
+        with open(corpus_path(CORPUS_DIR, name), encoding="utf-8") as fh:
+            text = fh.read()
+        document = corpus_docs[name]
+        assert document.dumps() == text
+        assert TraceDocument.loads(text).dumps() == text
+
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_footer_counts_and_digest(self, name, corpus_docs):
+        document = corpus_docs[name]
+        assert document.num_tasks == sum(
+            1 for e in document.events() if e["record"] == "task"
+        )
+        assert document.footer["events"] == len(document.records)
+        assert document.stream_digest() == document.footer["stream_digest"]
+
+    @pytest.mark.parametrize("name", ["stencil", "generative-adversarial"])
+    def test_builder_regenerates_fixture_exactly(self, name):
+        """The corpus builders are deterministic end to end: rebuilding a
+        fixture from scratch reproduces the checked-in bytes. (Two
+        representative entries; `make corpus` + git diff covers all.)"""
+        with open(corpus_path(CORPUS_DIR, name), encoding="utf-8") as fh:
+            text = fh.read()
+        assert CORPUS_ENTRIES[name]().dumps() == text
+
+    def test_tampered_stream_fails_verify(self, corpus_docs):
+        """A schema-valid edit to an event still trips the integrity
+        stamp -- hand-edited fixtures cannot sneak past a re-drive."""
+        doc = TraceDocument.loads(corpus_docs["stencil"].dumps())
+        first_task = next(
+            r for r in doc.records if r["record"] == "task"
+        )
+        first_task["name"] = "TAMPERED"
+        with pytest.raises(TraceFormatError, match="stream digest mismatch"):
+            doc.verify()
+
+
+class TestRedriveParity:
+    """The acceptance property: capture once, re-drive byte-identically
+    on every deployment."""
+
+    @pytest.mark.parametrize("backend", REPLAY_BACKENDS)
+    @pytest.mark.parametrize("name", CORPUS_NAMES)
+    def test_byte_identical_decisions(self, name, backend, corpus_docs):
+        verdict = TraceReplayHarness(corpus_docs[name], backend=backend).run()
+        assert verdict.matched, verdict.summary()
+        assert verdict.tasks == corpus_docs[name].num_tasks
+        assert verdict.actual_digest == (
+            corpus_docs[name].footer["decisions_digest"]
+        )
+
+    def test_replay_on_all_covers_every_backend(self, corpus_docs):
+        verdicts = replay_on_all(corpus_docs["jacobi"])
+        assert set(verdicts) == set(REPLAY_BACKENDS)
+        assert all(verdicts.values())
+
+    def test_config_override_breaks_byte_identity_knowingly(self, corpus_docs):
+        """An override re-drives under new knobs; the harness reports the
+        divergence instead of asserting (what-if experiments)."""
+        import dataclasses
+
+        config = corpus_docs["stencil"].config()
+        # stretch mining-job latency so candidates land far later than in
+        # the capture: the decision stream visibly shifts
+        config = dataclasses.replace(config, job_base_latency_ops=500)
+        verdict = TraceReplayHarness(
+            corpus_docs["stencil"], config=config
+        ).run()
+        assert not verdict.matched
+        assert verdict.actual_digest != verdict.expected_digest
+
+    def test_rebuilt_forest_matches_topology(self, corpus_docs):
+        document = corpus_docs["s3d"]
+        _, regions = rebuild_forest(document)
+        declared = [r for r in document.topology() if r["record"] == "region"]
+        assert set(regions) == {r["uid"] for r in declared}
+        for record in declared:
+            region = regions[record["uid"]]
+            assert region.uid == record["uid"]
+            assert list(region.extent) == record["extent"]
+
+    def test_harness_rejects_paths(self, corpus_docs):
+        with pytest.raises(TypeError, match="TraceDocument"):
+            TraceReplayHarness(corpus_path(CORPUS_DIR, "stencil"))
+
+
+class TestRecorderRoundTrip:
+    """Live capture -> export -> parse -> re-drive, no files involved."""
+
+    def test_capture_and_redrive(self):
+        document = record_stream(
+            generative_stream(PHASE_GRAPHS["steady"], 80),
+            app="generative",
+            session_id="live",
+        )
+        parsed = TraceDocument.loads(document.dumps()).verify()
+        assert parsed.app == "generative"
+        assert parsed.session_id == "live"
+        assert parsed.num_tasks == 80
+        verdict = TraceReplayHarness(parsed).run()
+        assert verdict.matched, verdict.summary()
+
+    def test_recorder_attaches_via_open_session(self):
+        recorder = TraceRecorder(app="stencil", meta={"who": "test"})
+        stream = generative_stream(PHASE_GRAPHS["steady"], 12)
+        with api.open_session(
+            "rec", config=CORPUS_CONFIG, recorder=recorder
+        ) as session:
+            for iteration, task in stream:
+                session.set_iteration(iteration)
+                session.submit(task)
+        document = recorder.document()
+        assert document.header["meta"] == {"who": "test"}
+        assert document.num_tasks == 12
+        # close flushes while attached, so the trace ends on its fence
+        assert document.records[-1]["record"] == "flush"
+
+    def test_recorder_misuse_errors(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError, match="not attached"):
+            recorder.on_flush()
+        with pytest.raises(ValueError, match="not finalized"):
+            recorder.document()
+        with api.open_session(
+            "rec2", config=CORPUS_CONFIG, recorder=recorder
+        ) as session:
+            with pytest.raises(ValueError, match="already"):
+                session.record_to(TraceRecorder())
+        with pytest.raises(ValueError, match="finalized"):
+            recorder.on_flush()
+
+
+class TestGenerativeDeterminism:
+    """The phase-graph generator's reproducibility laws."""
+
+    @staticmethod
+    def _tokens(graph, n=200):
+        hasher = TaskHasher()
+        return [hasher.hash_task(t) for _, t in generative_stream(graph, n)]
+
+    def test_same_seed_same_stream(self):
+        graph = PHASE_GRAPHS["adversarial"]
+        assert self._tokens(graph) == self._tokens(graph)
+
+    def test_different_seed_different_stream(self):
+        graph = PHASE_GRAPHS["adversarial"]
+        assert self._tokens(graph) != self._tokens(graph.with_seed(999))
+
+    def test_different_graph_different_structure(self):
+        assert (self._tokens(PHASE_GRAPHS["steady"])
+                != self._tokens(PHASE_GRAPHS["adversarial"]))
+
+    def test_replay_fractions_structurally_distinct(self, corpus_docs):
+        """The steady graph is built to be minable, the adversarial one to
+        churn -- the pipeline's replay fraction must tell them apart."""
+        steady = corpus_docs["generative-steady"].footer["gauges"]
+        churn = corpus_docs["generative-adversarial"].footer["gauges"]
+        assert steady["replay_fraction"] > churn["replay_fraction"] + 0.2
+
+    def test_phase_graph_dict_round_trip(self):
+        for name in PHASE_GRAPHS.names():
+            graph = PHASE_GRAPHS[name]
+            clone = PhaseGraph.from_dict(graph.as_dict())
+            assert clone.as_dict() == graph.as_dict()
+            assert self._tokens(clone, 60) == self._tokens(graph, 60)
+
+    def test_with_seed_preserves_structure(self):
+        graph = PHASE_GRAPHS["nested"]
+        reseeded = graph.with_seed(1234)
+        assert reseeded.seed == 1234
+        expected = dict(graph.as_dict(), seed=1234)
+        assert reseeded.as_dict() == expected
+
+    def test_generative_is_a_registered_app(self):
+        from repro.apps import APP_REGISTRY, build_app
+
+        assert "generative" in APP_REGISTRY
+        app = build_app("generative", mode="untraced", gpus=4,
+                        task_scale=0.1, analysis_mode="fast")
+        runtime = app.run(4)
+        assert len(runtime.task_log) > 0
+
+
+class TestFormatErrors:
+    def test_truncated_document(self):
+        with pytest.raises(TraceFormatError, match="header and a footer"):
+            TraceDocument.loads('{"record":"header"}\n')
+
+    def test_invalid_json_line(self, corpus_docs):
+        text = corpus_docs["stencil"].dumps().replace(
+            '{"record":"flush"}', "not json", 1
+        )
+        with pytest.raises(TraceFormatError, match="not valid JSON"):
+            TraceDocument.loads(text)
+
+    def test_wrong_format_name(self):
+        text = (
+            '{"record":"header","format":"other","version":1,'
+            '"session_id":null,"backend":null,"app":null,"config":{},'
+            '"config_dropped":[],"meta":{}}\n'
+            '{"record":"end","events":0,"tasks":0,"stream_digest":"x",'
+            '"decisions_digest":"x","replayer":[],"gauges":{}}\n'
+        )
+        with pytest.raises(TraceFormatError, match="not a repro-trace"):
+            TraceDocument.loads(text)
+
+    def test_unknown_schema_version(self, corpus_docs):
+        record = dict(corpus_docs["stencil"].header, version=99)
+        text = corpus_docs["stencil"].dumps()
+        text = (
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n" + text.split("\n", 1)[1]
+        )
+        with pytest.raises(TraceFormatError, match="version 99"):
+            TraceDocument.loads(text)
+
+    def test_unknown_record_kind(self):
+        with pytest.raises(TraceFormatError, match="unknown record kind"):
+            TraceFormatV1.validate({"record": "telemetry"})
+
+    def test_malformed_requirement(self):
+        with pytest.raises(TraceFormatError, match="requirement"):
+            TraceFormatV1.validate({
+                "record": "task", "name": "T", "reqs": [[1, "rw"]],
+                "exec_cost": 0.0, "comm_cost": 0.0,
+            })
+
+    def test_undeclared_region_reference(self, corpus_docs):
+        document = corpus_docs["stencil"]
+        event = next(e for e in document.events() if e["record"] == "task")
+        bad = dict(event, reqs=[[10 ** 9, "READ_ONLY", ["f"], None]])
+        _, regions = rebuild_forest(document)
+        with pytest.raises(TraceFormatError, match="undeclared"):
+            TraceReplayHarness._synthesize(bad, regions)
+
+    def test_config_round_trip(self):
+        fields, dropped = config_to_dict(CORPUS_CONFIG)
+        assert dropped == []
+        rebuilt = config_from_dict(fields)
+        assert config_to_dict(rebuilt)[0] == fields
+
+
+class TestRegistryExposure:
+    def test_trace_registries_in_api(self):
+        registries = api.registries()
+        assert isinstance(registries["trace_formats"], Registry)
+        assert registries["trace_formats"]["v1"] is TraceFormatV1
+        assert isinstance(registries["phase_graphs"], Registry)
+        assert {"steady", "baseline", "nested", "adversarial"} <= set(
+            registries["phase_graphs"]
+        )
+
+    def test_lazy_api_exports_resolve(self):
+        from repro.trace.recorder import TraceRecorder as Direct
+        from repro.trace.replay import TraceReplayHarness as DirectHarness
+
+        assert api.TraceRecorder is Direct
+        assert api.TraceReplayHarness is DirectHarness
+        with pytest.raises(AttributeError):
+            api.DoesNotExist
+
+    def test_corpus_entries_registry(self):
+        assert isinstance(CORPUS_ENTRIES, Registry)
+        assert set(CORPUS_NAMES) == {
+            "s3d", "stencil", "jacobi", "cfd",
+            "generative-steady", "generative-adversarial",
+        }
