@@ -1,6 +1,6 @@
 # Convenience targets; see ROADMAP.md for the canonical commands.
 
-.PHONY: verify verify-full verify-chaos test bench service-bench replayer-bench api-check lint lint-baseline corpus trace-check
+.PHONY: verify verify-full verify-chaos test bench service-bench replayer-bench api-check lint lint-baseline corpus trace-check persist-check
 
 ## Tier-1 tests plus the perf_smoke guards (the pre-commit check).
 verify:
@@ -32,13 +32,17 @@ replayer-bench:
 api-check:
 	PYTHONPATH=src python -m pytest -q -m api tests
 
-## The determinism & invariant linter (rules RPL001-RPL008) over src/.
+## The determinism & invariant linter (rules RPL001-RPL009) over src/.
 lint:
 	PYTHONPATH=src python -m repro.lint src
 
 ## Accept the current violation set as the new baseline (review the diff!).
 lint-baseline:
 	PYTHONPATH=src python -m repro.lint src --write-baseline
+
+## The session-persistence (dehydrate/hydrate) suites on their own.
+persist-check:
+	PYTHONPATH=src python -m pytest -x -q -m persist tests
 
 ## The trace capture/re-drive corpus suites on their own.
 trace-check:

@@ -11,7 +11,7 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 # Static analysis first: the determinism & invariant linter (rules
-# RPL001-RPL008, see `python -m repro.lint --list-rules`) over src/,
+# RPL001-RPL009, see `python -m repro.lint --list-rules`) over src/,
 # against the checked-in baseline (lint-baseline.json). Fails on any
 # fresh violation; runs before the tests because it is the cheapest gate.
 echo "== static analysis"
@@ -47,6 +47,14 @@ python -m pytest -x -q -m faults tests
 # own unmistakable step name. Regenerate fixtures with `make corpus`.
 echo "== trace corpus"
 python -m pytest -x -q -m trace tests
+
+# Persistence: dehydrate/hydrate round-trip byte-stability, warm-start
+# decision parity on every backend, deterministic candidate eviction,
+# digest tamper detection, and the service evict-then-readmit path.
+# Already part of tests/ above; this step gives persistence regressions
+# their own unmistakable step name.
+echo "== persistence"
+python -m pytest -x -q -m persist tests
 
 # Fast floors over the two perf-tracked hot paths: suffix-array backend
 # equivalence (tests/) and the replayer match-engine speedup

@@ -58,13 +58,15 @@ def registries():
 
     One introspection point over the unified registry pattern: tracing
     backends, configuration profiles, suffix-array backends,
-    applications, fault plans, trace formats, and phase graphs.
-    Imported lazily so ``repro.api`` itself stays light.
+    applications, fault plans, trace formats, persisted-session-state
+    formats, and phase graphs. Imported lazily so ``repro.api`` itself
+    stays light.
     """
     from repro.apps.base import APP_REGISTRY
     from repro.apps.generative import PHASE_GRAPHS
     from repro.core.sa_backends import BACKENDS
     from repro.faults import FAULT_PLANS
+    from repro.persist import PERSIST_FORMATS
     from repro.trace.format import TRACE_FORMATS
 
     return {
@@ -74,16 +76,22 @@ def registries():
         "apps": APP_REGISTRY,
         "fault_plans": FAULT_PLANS,
         "trace_formats": TRACE_FORMATS,
+        "persist_formats": PERSIST_FORMATS,
         "phase_graphs": PHASE_GRAPHS,
     }
 
 
-#: Trace capture/re-drive entry points, resolved lazily (PEP 562):
-#: ``repro.trace`` imports this package for the session facade, so an
-#: eager import here would be circular.
+#: Trace capture/re-drive and persistence entry points, resolved lazily
+#: (PEP 562): ``repro.trace`` imports this package for the session
+#: facade, so an eager import here would be circular, and the
+#: persistence names ride the same mechanism so ``repro.api`` stays
+#: light for sessions that never dehydrate.
 _TRACE_EXPORTS = {
     "TraceRecorder": "repro.trace.recorder",
     "TraceReplayHarness": "repro.trace.replay",
+    "SessionState": "repro.persist",
+    "SessionStateStore": "repro.persist",
+    "PersistFormatError": "repro.persist",
 }
 
 
@@ -105,10 +113,13 @@ __all__ = [
     "NullFaultPlan",
     "PROFILES",
     "PROFILE_ENV_VAR",
+    "PersistFormatError",
     "ReplicatedBackend",
     "Session",
     "SessionClosedError",
     "SessionSnapshot",
+    "SessionState",
+    "SessionStateStore",
     "SessionStats",
     "StandaloneBackend",
     "TRACING_BACKENDS",

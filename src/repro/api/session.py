@@ -72,7 +72,7 @@ class TracingBackend(Protocol):
     backend_kind: str
 
     def open_session(self, session_id, runtime=None, config=None, node_id=0,
-                     priority=0):
+                     priority=0, state=None):
         ...
 
     def close_session(self, session_id):
@@ -112,7 +112,7 @@ class StandaloneBackend:
         self._retired = RetiredCounters()
 
     def open_session(self, session_id, runtime=None, config=None, node_id=0,
-                     priority=0):
+                     priority=0, state=None):
         if session_id in self.sessions:
             raise ValueError(f"session {session_id!r} already open")
         del priority  # nothing is shared, so nothing to prioritize
@@ -124,7 +124,7 @@ class StandaloneBackend:
         )
         if owns_runtime:
             self.runtime_factory.bind_processor(session_id, processor)
-        processor.open_session(session_id)
+        processor.open_session(session_id, state=state)
         self.sessions[session_id] = (processor, owns_runtime)
         self.sessions_opened += 1
         return processor
@@ -327,6 +327,22 @@ class Session:
     #: service handle, application base class).
     execute_task = submit
 
+    def submit_many(self, tasks):
+        """Issue tasks in order; returns how many were submitted.
+
+        Exactly a ``submit`` loop -- no batching, reordering, or
+        buffering of its own -- so the decision stream is byte-identical
+        to calling :meth:`submit` per task (parity-tested). Exists so
+        replay drivers and batch-shaped applications have one call for
+        "here is the next stretch of the stream".
+        """
+        self._check_open()
+        count = 0
+        for task in tasks:
+            self.submit(task)
+            count += 1
+        return count
+
     def set_iteration(self, iteration):
         self._check_open()
         if self.recorder is not None:
@@ -390,6 +406,19 @@ class Session:
         self._check_open()
         return SessionSnapshot.of(self.handle, self.backend.backend_kind)
 
+    def dehydrate(self):
+        """Snapshot the session's learned state as a
+        :class:`~repro.persist.SessionState`.
+
+        Flushes first (the snapshot sits on a fence), so taking one is
+        observable in the decision stream only as that flush. The state
+        round-trips bytes-for-bytes (``dumps``/``loads``) and warm-starts
+        a future ``open_session(..., state=...)`` on any backend.
+        """
+        self._check_open()
+        from repro.persist import dehydrate as _dehydrate
+        return _dehydrate(self.handle, session_id=self.session_id)
+
     def decision_trace(self):
         self._check_open()
         return self.handle.decision_trace()
@@ -444,7 +473,7 @@ class Session:
 
 def open_session(session_id=None, *, backend="standalone", config=None,
                  profile=None, runtime=None, node_id=0, priority=0,
-                 env=None, recorder=None, **overrides):
+                 env=None, recorder=None, state=None, **overrides):
     """Open a tracing session on any deployment; returns a :class:`Session`.
 
     Parameters
@@ -475,6 +504,13 @@ def open_session(session_id=None, *, backend="standalone", config=None,
         Optional :class:`~repro.trace.TraceRecorder` attached from the
         first task (``session.record_to`` after the fact also works);
         ``close()`` finalizes it.
+    state:
+        Optional :class:`~repro.persist.SessionState` (from
+        ``Session.dehydrate()``) to warm-start from: the new session
+        resumes the snapshot's learned candidates, scores, and op clocks
+        on any backend -- replicated sessions hydrate every node replica
+        identically. The snapshot's decision-relevant config must match
+        the session's.
     """
     if session_id is None:
         session_id = f"session-{next(_AUTO_IDS)}"
@@ -500,6 +536,7 @@ def open_session(session_id=None, *, backend="standalone", config=None,
         config=session_config,
         node_id=node_id,
         priority=priority,
+        state=state,
     )
     session = Session(session_id, backend_obj, handle, owns_backend)
     if recorder is not None:

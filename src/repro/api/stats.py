@@ -89,6 +89,14 @@ class SessionStats:
     deadline_overruns: int = 0
     quarantined: bool = False
     live_nodes: int = 1
+    # Candidate-lifecycle / persistence gauges: candidates the eviction
+    # policy removed, how many times this session (or its backend, for
+    # service-held spill tiers) warm-started from a dehydrated state,
+    # and how many dehydrated states the serving backend currently
+    # holds. All zero with the default (unbounded) knobs.
+    candidates_evicted: int = 0
+    warm_starts: int = 0
+    states_held: int = 0
 
     @property
     def memo_hit_rate(self):
@@ -127,9 +135,10 @@ def collect_session_stats(handle, evictions=None, backend=None):
     replayer = processor.stats
     executor = processor.executor
     shared = getattr(executor, "shared", None)
+    service = getattr(handle, "service", None)
     if evictions is None:
-        service = getattr(handle, "service", None)
         evictions = service.sessions_evicted if service is not None else 0
+    state_store = getattr(service, "state_store", None)
     # A replicated handle carries the per-session coordinator; a bare
     # processor running replicated carries its own reference.
     coordinator = getattr(handle, "coordinator", None)
@@ -176,6 +185,9 @@ def collect_session_stats(handle, evictions=None, backend=None):
         live_nodes=getattr(
             handle, "live_nodes", getattr(handle, "num_nodes", 1)
         ),
+        candidates_evicted=replayer.candidates_evicted,
+        warm_starts=getattr(processor, "warm_starts", 0),
+        states_held=state_store.states_held if state_store is not None else 0,
     )
 
 

@@ -1,0 +1,246 @@
+"""Candidate lifecycle: ingestion, rotation groups, realized records,
+eviction.
+
+Historically the :class:`~repro.core.replayer.TraceReplayer` owned all of
+the learned state directly -- the rotation groups that let phase-shifted
+rediscoveries of one cycle reinforce a shared occurrence count, and the
+realized-replay attribution (fires / stranded gap tokens) that feeds the
+scoring hysteresis. That left the learned state inseparable from the
+stream bookkeeping: nothing could bound it, persist it, or reason about
+its lifetime without reaching into replayer internals.
+
+:class:`CandidateStore` is that lifecycle layer, extracted. It owns
+
+* the candidates themselves (through the match engine's trie),
+* the rotation groups (``(length, canonical rotation) -> [members, count]``),
+* the realized-replay record (last fired cycle, tokens stranded since),
+* and the eviction policy: a capacity bound (``max_candidates``) and a
+  staleness horizon, both off by default, that score candidates by
+  *realized replay share* (:meth:`~repro.core.scoring.ScoringPolicy.
+  realized_share`) and evict through the exact-removal path
+  (:meth:`remove`), so an evicted candidate neither lingers as a stale
+  rotation-group member nor blocks re-admission of its own tokens.
+
+The replayer delegates here; with both knobs at their ``None`` defaults
+every operation is byte-identical to the pre-refactor code path.
+"""
+
+from repro.core.repeats import canonical_rotation
+
+
+class CandidateStore:
+    """Owns candidate lifetime: admission, shared counts, removal, eviction.
+
+    Parameters
+    ----------
+    engine:
+        The match engine (:mod:`repro.core.matching`) whose trie holds
+        the candidates. The store inserts/removes *through* the engine so
+        pointer bookkeeping stays exact.
+    scoring:
+        :class:`~repro.core.scoring.ScoringPolicy`; supplies
+        ``realized_share`` for the eviction ranking.
+    min_trace_length:
+        Repeats shorter than this are not admitted.
+    max_candidates:
+        Capacity bound on the trie's candidate count, or ``None`` for
+        unbounded (the default -- byte-identical to the historical
+        behaviour).
+    staleness_horizon:
+        Evict candidates not seen in the stream (matched or re-mined)
+        for more than this many stream indices, or ``None`` to disable.
+    """
+
+    def __init__(
+        self,
+        engine,
+        scoring,
+        min_trace_length,
+        max_candidates=None,
+        staleness_horizon=None,
+    ):
+        self.engine = engine
+        self.scoring = scoring
+        self.min_trace_length = min_trace_length
+        self.max_candidates = max_candidates
+        self.staleness_horizon = staleness_horizon
+        # (length, canonical rotation) -> [candidates, total count]:
+        # phase-shifted rediscoveries of one cycle reinforce a shared
+        # occurrence count, and at most ``max_phases_per_cycle`` rotations
+        # are admitted to the trie. One phase per cycle would leave the
+        # stream untraced for up to a full cycle after every misaligned
+        # commit; unbounded phases would re-record the same cycle
+        # endlessly (the Section 3 memoization-cost failure mode).
+        self.by_rotation = {}
+        self.max_phases_per_cycle = 3
+        # Realized-replay attribution (scoring hysteresis): the last
+        # candidate committed, and the tasks flushed untraced since. A
+        # commit that leaves the stream phase-shifted strands the tokens
+        # that follow it, so the *previous* choice is what a flush
+        # indicts -- see TraceReplayer._record_fire.
+        self.last_fired = None
+        self.flushed_since_fire = 0
+        self.candidates_evicted = 0
+
+    @property
+    def trie(self):
+        """The engine's :class:`~repro.core.trie.CandidateTrie`."""
+        return self.engine.trie
+
+    # ------------------------------------------------------------------
+    # Admission (IngestCandidates of Algorithm 1)
+    # ------------------------------------------------------------------
+    def ingest(self, repeats, now_index):
+        """Admit mined repeats as candidates; returns how many were new.
+
+        Every analysis that re-finds a candidate adds its observed
+        occurrences (the scoring cap bounds the effect). This is what lets
+        a long trace whose live matches are consumed by shorter replays
+        accumulate enough score to displace them -- the paper's "switch
+        from a trace that appeared early ... to a better trace that
+        appears later".
+        """
+        engine = self.engine
+        admitted = 0
+        for repeat in repeats:
+            if repeat.length < self.min_trace_length:
+                continue
+            key = (repeat.length, canonical_rotation(repeat.tokens))
+            entry = self.by_rotation.get(key)
+            if entry is None:
+                entry = [[], 0]
+                self.by_rotation[key] = entry
+            members, _total = entry
+            entry[1] += repeat.count
+            existing = engine.find(repeat.tokens)
+            if existing is None and len(members) < self.max_phases_per_cycle:
+                existing = engine.insert(repeat.tokens)
+                members.append(existing)
+                admitted += 1
+            # All phases of a cycle share the cycle's appearance count.
+            for member in members:
+                member.occurrences = max(member.occurrences, entry[1])
+                member.last_seen_at = now_index
+        return admitted
+
+    # ------------------------------------------------------------------
+    # Removal and eviction
+    # ------------------------------------------------------------------
+    def remove(self, candidate):
+        """Evict a candidate from the trie *and* its rotation group.
+
+        Without the group cleanup an evicted candidate lives on as a
+        stale rotation-group member: re-discoveries of the cycle keep
+        resurrecting its occurrence count, and -- because the group still
+        looks fully populated -- the evicted trace's tokens can never be
+        re-admitted to the trie. Returns ``True`` when the candidate was
+        actually removed.
+        """
+        if not self.engine.remove(candidate):
+            return False
+        key = (candidate.length, canonical_rotation(candidate.tokens))
+        entry = self.by_rotation.get(key)
+        if entry is not None:
+            members = entry[0]
+            if candidate in members:
+                members.remove(candidate)
+            if not members:
+                del self.by_rotation[key]
+        if candidate is self.last_fired:
+            # Keep the realized record from pinning an evicted object
+            # alive; the stranded-token count transfers to nobody (the
+            # indicted cycle is gone).
+            self.last_fired = None
+        return True
+
+    def evict_due(self, now_index, protected=()):
+        """Apply the staleness horizon and capacity bound; returns the
+        number of candidates evicted.
+
+        Ranking is by realized replay share (ascending: candidates whose
+        commits strand the most tokens go first), tie-broken by
+        ``last_seen_at`` then trace id -- all intrinsic to the candidate,
+        so two replicas holding identical tries evict identically.
+        ``protected`` candidates (e.g. the held deferral's) are never
+        evicted; both knobs ``None`` (the default) makes this a no-op.
+        """
+        evicted = 0
+        # A tuple, not a set: membership only (one or two entries), and
+        # the determinism linter rightly dislikes sets on this path.
+        protected = tuple(id(c) for c in protected)
+        horizon = self.staleness_horizon
+        if horizon is not None:
+            stale = [
+                c
+                for c in self.trie.candidates.values()
+                if now_index - c.last_seen_at > horizon
+                and id(c) not in protected
+            ]
+            for candidate in stale:
+                if self.remove(candidate):
+                    evicted += 1
+        cap = self.max_candidates
+        if cap is not None:
+            while len(self.trie.candidates) > cap:
+                victims = [
+                    c
+                    for c in self.trie.candidates.values()
+                    if id(c) not in protected
+                ]
+                if not victims:
+                    break
+                victim = min(victims, key=self._eviction_rank)
+                if not self.remove(victim):
+                    break
+                evicted += 1
+        self.candidates_evicted += evicted
+        return evicted
+
+    def _eviction_rank(self, candidate):
+        """Lowest rank evicts first: poorest realized share, then least
+        recently seen, then oldest id (deterministic total order)."""
+        return (
+            self.scoring.realized_share(candidate),
+            candidate.last_seen_at,
+            candidate.trace_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Realized-replay record
+    # ------------------------------------------------------------------
+    def cycle_members(self, candidate):
+        """The candidate's rotation-group siblings (itself included)."""
+        entry = self.by_rotation.get(
+            (candidate.length, canonical_rotation(candidate.tokens))
+        )
+        if entry is not None and candidate in entry[0]:
+            return entry[0]
+        return (candidate,)
+
+    def record_fire(self, candidate):
+        """Update the realized-replay record at a commit.
+
+        The fired candidate's cycle gets one more fire; the previously
+        fired cycle is charged every task flushed untraced since its
+        commit -- a commit that leaves the stream phase-shifted strands
+        the tokens after it, so the gap indicts the *previous* choice,
+        not whichever candidate happens to fire next. Both updates apply
+        to every rotation-group sibling: phases of one cycle are the
+        same periodic behaviour, and a per-phase record would let a
+        discounted cycle re-enter through a fresh rotation (burning one
+        recording per phase). Pure bookkeeping: with hysteresis off the
+        record never influences a decision.
+        """
+        previous = self.last_fired
+        stranded = self.flushed_since_fire
+        for member in self.cycle_members(candidate):
+            member.fires += 1
+        if previous is not None and stranded:
+            for member in self.cycle_members(previous):
+                member.gap_tokens += stranded
+        self.last_fired = candidate
+        self.flushed_since_fire = 0
+
+    def note_flushed(self, count):
+        """Record ``count`` tasks flushed untraced since the last commit."""
+        self.flushed_since_fire += count

@@ -165,6 +165,23 @@ class ApopheniaConfig:
         quarantined (pass-through tracing, no mining, exponential
         backoff re-probes). ``None``/0 disables quarantine; failures
         are still contained per job and counted.
+    max_candidates:
+        Capacity bound on the candidate trie: after every ingestion the
+        :class:`~repro.core.candidates.CandidateStore` evicts the
+        poorest-realized-share candidates until the count fits. ``None``
+        (the default) keeps the historical unbounded behaviour,
+        byte-identical to before the lifecycle layer existed.
+    candidate_staleness_horizon:
+        Evict candidates not seen in the stream (matched or re-mined)
+        for more than this many stream indices; ``None`` disables the
+        horizon.
+    session_state_budget:
+        Token budget of the service's
+        :class:`~repro.persist.SessionStateStore`: LRU-evicted sessions
+        are dehydrated into it (instead of being forgotten) and
+        re-admission warm-starts from the stored state. Entries cost
+        roughly the tokens they hold (candidates + buffered stream);
+        ``None`` disables the spill path, reproducing forget-on-evict.
     """
 
     min_trace_length: int = 5
@@ -192,6 +209,9 @@ class ApopheniaConfig:
     fault_plan: object = None
     mining_deadline_tokens: Optional[int] = None
     fault_quarantine_threshold: Optional[int] = 8
+    max_candidates: Optional[int] = None
+    candidate_staleness_horizon: Optional[int] = None
+    session_state_budget: Optional[int] = None
 
     def with_overrides(self, **kwargs):
         return replace(self, **kwargs)
@@ -266,7 +286,9 @@ class ApopheniaConfig:
         if self.num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
         for name in ("shared_memo_token_budget", "lane_outstanding_quota",
-                     "mining_deadline_tokens", "fault_quarantine_threshold"):
+                     "mining_deadline_tokens", "fault_quarantine_threshold",
+                     "max_candidates", "candidate_staleness_horizon",
+                     "session_state_budget"):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be None or >= 1, got {value}")
@@ -368,8 +390,11 @@ class ApopheniaProcessor:
             min_trace_length=self.config.min_trace_length,
             max_trace_length=self.config.max_trace_length,
             match_engine=self.config.match_engine,
+            max_candidates=self.config.max_candidates,
+            staleness_horizon=self.config.candidate_staleness_horizon,
         )
         self.trace_log = []  # (trace_id, length) of every issued trace
+        self.warm_starts = 0  # sessions hydrated from a SessionState
 
     # ------------------------------------------------------------------
     # Application-facing interface
@@ -420,7 +445,7 @@ class ApopheniaProcessor:
     # TracingBackend protocol (repro.api)
     # ------------------------------------------------------------------
     def open_session(self, session_id=None, runtime=None, config=None,
-                     node_id=0, priority=0):
+                     node_id=0, priority=0, state=None):
         """Bind this processor as a single-session tracing backend.
 
         The deployment-agnostic facade (:func:`repro.api.open_session`)
@@ -428,7 +453,8 @@ class ApopheniaProcessor:
         backend; a standalone processor *is* its only session, so binding
         returns the processor itself. Runtime and config were fixed at
         construction -- passing different ones here is a mistake, not an
-        override.
+        override. ``state`` warm-starts the session from a
+        :class:`~repro.persist.SessionState` snapshot.
         """
         if self.session_id is not None:
             raise ValueError(
@@ -454,6 +480,12 @@ class ApopheniaProcessor:
             )
         del priority  # meaningful only for shared backends
         self.session_id = session_id if session_id is not None else "default"
+        if state is not None:
+            # Deferred import: repro.persist sits above the core layer.
+            from repro.persist import hydrate_processor
+
+            hydrate_processor(self, state)
+            self.warm_starts += 1
         return self
 
     def close_session(self, session_id=None):
@@ -490,6 +522,10 @@ class ApopheniaProcessor:
             "degraded_jobs": getattr(executor, "degraded_jobs", 0),
             "deadline_overruns": getattr(executor, "deadline_overruns", 0),
             "quarantined": 1 if getattr(executor, "quarantined", False) else 0,
+            # Lifecycle / persistence gauges.
+            "candidates_evicted": replayer_stats.candidates_evicted,
+            "warm_starts": self.warm_starts,
+            "states_held": 0,  # only the service spills evicted sessions
         }
 
     # ------------------------------------------------------------------

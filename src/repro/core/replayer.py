@@ -6,22 +6,25 @@ potential trace match, or issue a completed match to the runtime wrapped
 in ``tbegin``/``tend``.
 
 Since the serving-path refactor the replayer is *stream bookkeeping* over
-two separable layers:
+three separable layers:
 
 * the **match engine** (:mod:`repro.core.matching`) owns the candidate
   trie and the active pointer set -- by default the deduplicating
   automaton engine, with the seed's explicit pointer scan available as
   the ``scan`` reference;
+* the **candidate store** (:class:`~repro.core.candidates.CandidateStore`)
+  owns candidate lifetime: admission, the rotation groups that let
+  phase-shifted rediscoveries of one cycle reinforce a shared occurrence
+  count, the realized-replay records behind the scoring hysteresis, and
+  the capacity/staleness eviction policy;
 * the **decision policy**
   (:class:`~repro.core.scoring.ReplayDecisionPolicy`) owns
   SelectReplayTrace: choosing among completions, defending the deferred
   match, deciding whether a deferral is still worth waiting on, and the
   scoring-hysteresis churn fix.
 
-What remains here is the pending buffer, the deferral slot, commit /
-flush mechanics, chunking, and candidate ingestion bookkeeping (the
-rotation groups that let phase-shifted rediscoveries of one cycle
-reinforce a shared occurrence count).
+What remains here is the pending buffer, the deferral slot, and commit /
+flush / chunking mechanics.
 
 Design constraints from the paper:
 
@@ -41,8 +44,8 @@ Design constraints from the paper:
 
 from collections import deque
 
+from repro.core.candidates import CandidateStore
 from repro.core.matching import get_match_engine
-from repro.core.repeats import canonical_rotation
 from repro.core.scoring import ReplayDecisionPolicy, ScoringPolicy
 
 
@@ -53,9 +56,14 @@ class ReplayerStats:
     stream that made the same tbegin/tend decisions have identical
     values whatever engine served them (what
     :meth:`decision_tuple` exposes and the decision-neutrality tests
-    compare). The remaining slots describe *how* the serving path did
+    compare). The next three describe *how* the serving path did
     the work -- pointer-set pressure and hysteresis interventions -- and
-    may legitimately differ between match engines.
+    may legitimately differ between match engines. Slots past
+    ``SNAPSHOT_FIELDS`` are lifecycle gauges excluded from
+    :meth:`as_tuple`: the snapshot tuple's width and ordering are frozen
+    by the recorded decision digests of every trace-corpus fixture, so
+    new gauges must be appended here and surfaced through
+    ``SessionStats`` / ``backend_stats`` instead.
     """
 
     __slots__ = (
@@ -68,18 +76,24 @@ class ReplayerStats:
         "active_pointer_peak",
         "pointer_collapses",
         "hysteresis_suppressed",
+        "candidates_evicted",
     )
 
     #: The decision-determined prefix of ``__slots__``.
     DECISION_FIELDS = __slots__[:6]
+
+    #: The slots covered by :meth:`as_tuple` -- frozen at the original
+    #: nine by the corpus fixtures' recorded decision digests.
+    SNAPSHOT_FIELDS = __slots__[:9]
 
     def __init__(self):
         for name in self.__slots__:
             setattr(self, name, 0)
 
     def as_tuple(self):
-        """All counters, in slot order."""
-        return tuple(getattr(self, name) for name in self.__slots__)
+        """The snapshot counters, in slot order (width is frozen -- see
+        ``SNAPSHOT_FIELDS``)."""
+        return tuple(getattr(self, name) for name in self.SNAPSHOT_FIELDS)
 
     def decision_tuple(self):
         """The decision-determined counters only, in slot order -- the
@@ -124,6 +138,11 @@ class TraceReplayer:
     policy:
         A :class:`~repro.core.scoring.ReplayDecisionPolicy`; overrides
         ``scoring`` when given.
+    max_candidates / staleness_horizon:
+        Candidate lifecycle bounds, forwarded to the
+        :class:`~repro.core.candidates.CandidateStore`; both default to
+        ``None`` (unbounded -- byte-identical to the historical
+        behaviour).
     """
 
     def __init__(
@@ -135,6 +154,8 @@ class TraceReplayer:
         max_trace_length=None,
         match_engine=None,
         policy=None,
+        max_candidates=None,
+        staleness_horizon=None,
     ):
         self.on_flush = on_flush
         self.on_trace = on_trace
@@ -148,26 +169,17 @@ class TraceReplayer:
             self.engine = match_engine  # a prebuilt engine instance
         else:
             self.engine = get_match_engine(match_engine)
+        self.store = CandidateStore(
+            self.engine,
+            self.policy.scoring,
+            min_trace_length,
+            max_candidates=max_candidates,
+            staleness_horizon=staleness_horizon,
+        )
         self.pending = deque()  # (index, task, token), stream order
         self.deferred = None  # CompletedMatch being extended, or None
         self.stream_index = 0
         self._stats = ReplayerStats()
-        # (length, canonical rotation) -> [candidates, total count]:
-        # phase-shifted rediscoveries of one cycle reinforce a shared
-        # occurrence count, and at most ``max_phases_per_cycle`` rotations
-        # are admitted to the trie. One phase per cycle would leave the
-        # stream untraced for up to a full cycle after every misaligned
-        # commit; unbounded phases would re-record the same cycle
-        # endlessly (the Section 3 memoization-cost failure mode).
-        self._by_rotation = {}
-        self.max_phases_per_cycle = 3
-        # Realized-replay attribution (scoring hysteresis): the last
-        # candidate committed, and the tasks flushed untraced since. A
-        # commit that leaves the stream phase-shifted strands the tokens
-        # that follow it, so the *previous* choice is what a flush
-        # indicts -- see ReplayDecisionPolicy.record_fire.
-        self._last_fired = None
-        self._flushed_since_fire = 0
 
     @property
     def scoring(self):
@@ -180,69 +192,77 @@ class TraceReplayer:
         return self.engine.trie
 
     @property
+    def max_phases_per_cycle(self):
+        """Rotation-group admission bound (see the candidate store)."""
+        return self.store.max_phases_per_cycle
+
+    @max_phases_per_cycle.setter
+    def max_phases_per_cycle(self, value):
+        self.store.max_phases_per_cycle = value
+
+    @property
+    def _by_rotation(self):
+        """The store's rotation groups (compatibility spelling)."""
+        return self.store.by_rotation
+
+    @property
     def stats(self):
-        """Counters, with the engine/policy-side gauges synced in."""
+        """Counters, with the engine/policy/store-side gauges synced in."""
         stats = self._stats
         engine = self.engine
         stats.active_pointer_peak = engine.active_pointer_peak
         stats.pointer_collapses = engine.pointer_collapses
         stats.hysteresis_suppressed = self.policy.hysteresis_suppressed
+        stats.candidates_evicted = self.store.candidates_evicted
         return stats
 
     # ------------------------------------------------------------------
     # Candidate ingestion (IngestCandidates of Algorithm 1)
     # ------------------------------------------------------------------
     def ingest(self, repeats):
-        """Ingest mined repeats as candidate traces.
+        """Ingest mined repeats as candidate traces, then apply the
+        store's eviction policy (a no-op at the unbounded defaults).
 
-        Every analysis that re-finds a candidate adds its observed
-        occurrences (the scoring cap bounds the effect). This is what lets
-        a long trace whose live matches are consumed by shorter replays
-        accumulate enough score to displace them -- the paper's "switch
-        from a trace that appeared early ... to a better trace that
-        appears later"."""
-        engine = self.engine
-        for repeat in repeats:
-            if repeat.length < self.min_trace_length:
-                continue
-            key = (repeat.length, canonical_rotation(repeat.tokens))
-            entry = self._by_rotation.get(key)
-            if entry is None:
-                entry = [[], 0]
-                self._by_rotation[key] = entry
-            members, _total = entry
-            entry[1] += repeat.count
-            existing = engine.find(repeat.tokens)
-            if existing is None and len(members) < self.max_phases_per_cycle:
-                existing = engine.insert(repeat.tokens)
-                members.append(existing)
-                self._stats.candidates_ingested += 1
-            # All phases of a cycle share the cycle's appearance count.
-            for member in members:
-                member.occurrences = max(member.occurrences, entry[1])
-                member.last_seen_at = self.stream_index
+        Eviction runs only here: ingestion is the sole source of
+        candidate growth, and in a replicated deployment it happens at
+        coordinator-agreed points on every replica, so evicting at the
+        same point keeps replica tries identical. The held deferral's
+        candidate is protected -- committing a match whose candidate was
+        just evicted would issue a trace for a ghost.
+        """
+        self._stats.candidates_ingested += self.store.ingest(
+            repeats, self.stream_index
+        )
+        if (
+            self.store.max_candidates is not None
+            or self.store.staleness_horizon is not None
+        ):
+            protected = (
+                (self.deferred.candidate,) if self.deferred is not None else ()
+            )
+            self.store.evict_due(self.stream_index, protected=protected)
 
     def remove_candidate(self, candidate):
-        """Evict a candidate from the trie *and* its rotation group.
+        """Evict a candidate from the trie and its rotation group (see
+        :meth:`~repro.core.candidates.CandidateStore.remove`). Returns
+        ``True`` when the candidate was actually removed.
 
-        Without the group cleanup an evicted candidate lives on as a
-        stale rotation-group member: re-discoveries of the cycle keep
-        resurrecting its occurrence count, and -- because the group still
-        looks fully populated -- the evicted trace's tokens can never be
-        re-admitted to the trie. Returns ``True`` when the candidate was
-        actually removed.
+        Removal is reconciled with in-flight serving state: if the held
+        deferral is a match of the removed candidate, it is dropped --
+        committing it later would issue a trace for a ghost (a trace id
+        the trie no longer knows) and re-walk a detached trie node. The
+        pending prefix the deferral was pinning is released by the next
+        token's safe-prefix flush. (The store's own eviction policy never
+        needs this: it protects the deferred candidate instead.)
         """
-        if not self.engine.remove(candidate):
-            return False
-        key = (candidate.length, canonical_rotation(candidate.tokens))
-        entry = self._by_rotation.get(key)
-        if entry is not None:
-            members = entry[0]
-            if candidate in members:
-                members.remove(candidate)
-            if not members:
-                del self._by_rotation[key]
-        return True
+        removed = self.store.remove(candidate)
+        if (
+            removed
+            and self.deferred is not None
+            and self.deferred.candidate is candidate
+        ):
+            self.deferred = None
+        return removed
 
     # ------------------------------------------------------------------
     # Stream processing
@@ -309,37 +329,12 @@ class TraceReplayer:
         )
 
     def _cycle_members(self, candidate):
-        """The candidate's rotation-group siblings (itself included)."""
-        entry = self._by_rotation.get(
-            (candidate.length, canonical_rotation(candidate.tokens))
-        )
-        if entry is not None and candidate in entry[0]:
-            return entry[0]
-        return (candidate,)
+        """Compatibility spelling of the store's rotation-group lookup."""
+        return self.store.cycle_members(candidate)
 
     def _record_fire(self, candidate):
-        """Update the realized-replay record at a commit.
-
-        The fired candidate's cycle gets one more fire; the previously
-        fired cycle is charged every task flushed untraced since its
-        commit -- a commit that leaves the stream phase-shifted strands
-        the tokens after it, so the gap indicts the *previous* choice,
-        not whichever candidate happens to fire next. Both updates apply
-        to every rotation-group sibling: phases of one cycle are the
-        same periodic behaviour, and a per-phase record would let a
-        discounted cycle re-enter through a fresh rotation (burning one
-        recording per phase). Pure bookkeeping: with hysteresis off the
-        record never influences a decision.
-        """
-        previous = self._last_fired
-        stranded = self._flushed_since_fire
-        for member in self._cycle_members(candidate):
-            member.fires += 1
-        if previous is not None and stranded:
-            for member in self._cycle_members(previous):
-                member.gap_tokens += stranded
-        self._last_fired = candidate
-        self._flushed_since_fire = 0
+        """Compatibility spelling of the store's realized-record update."""
+        self.store.record_fire(candidate)
 
     def _fire(self, match):
         """Commit a match: flush its prefix, issue it as a trace, reprocess
@@ -350,7 +345,7 @@ class TraceReplayer:
             trace_items.append(self.pending.popleft())
         tail = list(self.pending)
         self.pending = deque()
-        self._record_fire(match.candidate)
+        self.store.record_fire(match.candidate)
         self._issue_trace(match.candidate, [item[1] for item in trace_items])
         self.engine.reset()
         self._stats.traces_fired += 1
@@ -398,4 +393,4 @@ class TraceReplayer:
         if batch:
             self.on_flush(batch)
             self._stats.tasks_flushed += len(batch)
-            self._flushed_since_fire += len(batch)
+            self.store.note_flushed(len(batch))

@@ -37,7 +37,7 @@ def build_parser():
         prog="python -m repro.lint",
         description=(
             "AST-based determinism & invariant linter for this repo "
-            "(rules RPL001-RPL008; see --list-rules)"
+            "(rules RPL001-RPL009; see --list-rules)"
         ),
     )
     parser.add_argument(

@@ -570,10 +570,87 @@ class SetIterationRule(Rule):
         )
 
 
+# ----------------------------------------------------------------------
+# RPL009 -- canonical JSON in serializer packages
+# ----------------------------------------------------------------------
+
+#: Packages whose on-disk documents are digest-stamped and compared by
+#: byte: trace corpus files and dehydrated session states.
+_SERIALIZER_PACKAGES = ("repro/persist/", "repro/trace/")
+
+_JSON_WRITERS = frozenset({"json.dump", "json.dumps"})
+
+#: The canonical separators pair, as the AST constant values.
+_CANONICAL_SEPARATORS = (",", ":")
+
+
+def _keyword(node, name):
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _is_true_constant(node):
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def _is_canonical_separators(node):
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return False
+    values = [
+        elt.value for elt in node.elts if isinstance(elt, ast.Constant)
+    ]
+    return len(node.elts) == 2 and tuple(values) == _CANONICAL_SEPARATORS
+
+
+@register_rule
+class CanonicalJsonRule(Rule):
+    rule_id = "RPL009"
+    title = "persist/trace serializers must emit canonical JSON"
+    rationale = (
+        "Session states and trace-corpus documents are digest-stamped "
+        "and compared byte-for-byte (loads(dumps()) round-trips, corpus "
+        "re-drives, replica state exchange). json.dumps without "
+        "sort_keys leaks dict insertion history into the bytes, and the "
+        "default separators add whitespace -- either way two equal "
+        "payloads serialize differently and every byte-identity check "
+        "downstream turns flaky."
+    )
+    hint = (
+        "call json.dumps(obj, sort_keys=True, separators=(\",\", \":\")) "
+        "-- the repo-wide canonical-serialization contract"
+    )
+
+    def applies_to(self, ctx):
+        return ctx.key is not None and ctx.key.startswith(_SERIALIZER_PACKAGES)
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved not in _JSON_WRITERS:
+                continue
+            problems = []
+            if not _is_true_constant(_keyword(node, "sort_keys")):
+                problems.append("sort_keys=True")
+            if not _is_canonical_separators(_keyword(node, "separators")):
+                problems.append('separators=(",", ":")')
+            if problems:
+                yield ctx.violation(
+                    self, node,
+                    f"{resolved}() in a serializer package without "
+                    f"{' and '.join(problems)} (non-canonical JSON breaks "
+                    f"byte-identity)",
+                )
+
+
 __all__ = [
     "AmbientEnvRule",
     "BareRegistryRule",
     "BuiltinHashRule",
+    "CanonicalJsonRule",
     "MemoAliasRule",
     "SetIterationRule",
     "TeardownRule",

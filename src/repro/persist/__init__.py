@@ -1,0 +1,39 @@
+"""Session persistence: dehydrate / hydrate learned tracing state.
+
+Public surface:
+
+* :class:`SessionState` -- one session's learned state as a versioned,
+  canonically-serialized, digest-stamped JSON document;
+* :func:`dehydrate` / :func:`hydrate_processor` -- snapshot a live
+  session / restore one onto a fresh processor (the facade spells these
+  ``Session.dehydrate()`` and ``open_session(..., state=...)``);
+* :class:`SessionStateStore` -- the token-budgeted LRU spill tier the
+  service parks evicted tenants' states in;
+* :data:`PERSIST_FORMATS` -- the schema-version registry.
+"""
+
+from repro.persist.state import (
+    DECISION_CONFIG_FIELDS,
+    FORMAT_NAME,
+    PERSIST_FORMATS,
+    PersistFormatError,
+    PersistFormatV1,
+    SessionState,
+    dehydrate,
+    format_for_version,
+    hydrate_processor,
+)
+from repro.persist.store import SessionStateStore
+
+__all__ = [
+    "DECISION_CONFIG_FIELDS",
+    "FORMAT_NAME",
+    "PERSIST_FORMATS",
+    "PersistFormatError",
+    "PersistFormatV1",
+    "SessionState",
+    "SessionStateStore",
+    "dehydrate",
+    "format_for_version",
+    "hydrate_processor",
+]

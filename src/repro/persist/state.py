@@ -1,0 +1,648 @@
+"""Versioned session-state snapshots (dehydrate / hydrate).
+
+A :class:`SessionState` captures everything a tracing session has
+*learned* -- the candidate trie, rotation groups, realized-replay
+records, sampler schedule position, op-clock offsets, pending mining
+jobs, and (replicated) the coordinator's agreement margin -- as one
+canonically-serialized JSON document. The service's LRU eviction
+dehydrates a victim tenant into such a snapshot instead of discarding
+it, and re-admission hydrates, so eviction no longer forgets.
+
+The headline property, tested by the ``persist`` suite: a hydrated
+session's subsequent decision stream is **byte-identical** to a session
+that was never evicted, once its buffer state is re-established (a
+dehydrate flushes, exactly as the service's eviction path always has).
+Everything decision-relevant is persisted:
+
+* the candidate trie with exact ``trace_id`` assignments (ids feed
+  trace identities and scoring tie-breaks),
+* rotation groups and shared occurrence totals,
+* realized-replay records (fires / gap tokens / last-fired cycle),
+* the finder's history buffer, op clock, and the multi-scale sampler's
+  trigger position,
+* pending mining jobs with their mined results and the job-id counter
+  (job ids feed the completion-time jitter),
+* the coordinator's grown margin and the agreed ingest points of
+  still-pending jobs (a replicated warm start that reset the margin
+  would ingest at different points: divergence).
+
+* the held deferral, if one survived the dehydrate fence: ``flush_all``
+  fires the held match, but reprocessing the pending tail inside that
+  fire can complete and defer a *new* match, so "flushed" does not mean
+  "no deferral" -- dropping it would cost the warm-started session one
+  commit its uninterrupted twin makes.
+
+Deliberately *not* persisted: the task hasher's memo (a pure cache),
+match-engine tick state (a dehydrate flushes, which resets the engine;
+all liveness arithmetic is tick-relative), and the mining memo
+(decision-neutral by construction).
+
+Serialization is canonical -- sorted keys, minimal separators, one JSON
+document -- so ``loads(dumps())`` round-trips byte-identically, and the
+payload carries a :func:`~repro.stablehash.stable_digest` stamp checked
+on load (tamper detection). Schema versions are plugin points in
+:data:`PERSIST_FORMATS`, mirroring :data:`repro.trace.TRACE_FORMATS`.
+"""
+
+import itertools
+import json
+from collections import deque
+
+from repro.core.jobs import AnalysisJob, completion_op
+from repro.core.repeats import Repeat
+from repro.core.trie import CompletedMatch
+from repro.registry import Registry
+from repro.stablehash import stable_digest
+
+FORMAT_NAME = "repro-session-state"
+
+#: JSON-scalar types a state field may carry.
+_SCALARS = (bool, int, float, str)
+
+_MISSING = object()
+
+#: The decision-relevant ``ApopheniaConfig`` slice recorded in a state
+#: (and checked at hydrate: restoring learned state into a session whose
+#: schedule or scoring differs would corrupt, not warm-start). The match
+#: engine is deliberately excluded -- engines are byte-identical on the
+#: decision stream, so a state may hydrate into either.
+DECISION_CONFIG_FIELDS = (
+    "min_trace_length",
+    "max_trace_length",
+    "batchsize",
+    "multi_scale_factor",
+    "identifier_algorithm",
+    "count_cap",
+    "decay_rate",
+    "replay_bonus",
+    "hysteresis",
+    "job_base_latency_ops",
+    "job_per_token_latency_ops",
+    "initial_ingest_margin_ops",
+    "max_candidates",
+    "candidate_staleness_horizon",
+)
+
+#: Decision-determined replayer counters, persisted by name.
+_REPLAYER_COUNTERS = (
+    "tasks_seen",
+    "tasks_flushed",
+    "tasks_traced",
+    "traces_fired",
+    "candidates_ingested",
+    "deferrals",
+)
+
+#: Executor/lane counters restored onto whatever executor serves the
+#: hydrated session (``jobs_submitted`` doubles as the next job id on
+#: both executor kinds -- ids and the counter start at zero and move
+#: together).
+_EXECUTOR_COUNTERS = (
+    "jobs_submitted",
+    "tokens_analyzed",
+    "memo_hits",
+    "mining_failures",
+    "degraded_jobs",
+    "deadline_overruns",
+)
+
+
+class PersistFormatError(ValueError):
+    """A session-state document violated the schema or its digest."""
+
+
+def _require(payload, field, types, kind="state"):
+    value = payload.get(field, _MISSING)
+    if value is _MISSING:
+        raise PersistFormatError(f"{kind} is missing {field!r}")
+    if types is not None and not isinstance(value, types):
+        raise PersistFormatError(
+            f"{kind} field {field!r} must be "
+            f"{'/'.join(t.__name__ for t in types)}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+class PersistFormatV1:
+    """Schema v1 of the session-state document."""
+
+    version = 1
+
+    #: top-level field -> (types, nullable)
+    _FIELDS = {
+        "format": ((str,), False),
+        "version": ((int,), False),
+        "session_id": ((str,), True),
+        "backend": ((str,), True),
+        "config": ((dict,), False),
+        "candidates": ((list,), False),
+        "next_candidate_id": ((int,), False),
+        "rotations": ((list,), False),
+        "replayer": ((dict,), False),
+        "gauges": ((dict,), False),
+        "finder": ((dict,), False),
+        "jobs": ((dict,), False),
+        "coordinator": ((dict,), True),
+        "trace_log": ((list,), False),
+        "digest": ((str,), False),
+    }
+
+    @classmethod
+    def validate(cls, payload):
+        """Check a parsed payload against the schema; returns it."""
+        if not isinstance(payload, dict):
+            raise PersistFormatError(
+                f"session state is not an object: {payload!r}"
+            )
+        for field, (types, nullable) in cls._FIELDS.items():
+            if nullable and payload.get(field, _MISSING) is None:
+                if field not in payload:
+                    raise PersistFormatError(f"state is missing {field!r}")
+                continue
+            _require(payload, field, types)
+        if payload["format"] != FORMAT_NAME:
+            raise PersistFormatError(
+                f"not a {FORMAT_NAME} document: "
+                f"format={payload['format']!r}"
+            )
+        if payload["version"] != cls.version:
+            raise PersistFormatError(
+                f"schema v{cls.version} reader cannot load "
+                f"version {payload['version']!r}"
+            )
+        for candidate in payload["candidates"]:
+            for field, types in (
+                ("trace_id", (int,)), ("tokens", (list,)),
+                ("occurrences", (int,)), ("fires", (int,)),
+                ("gap_tokens", (int,)), ("replayed", (bool,)),
+                ("recorded", (bool,)),
+            ):
+                _require(candidate, field, types, "candidate")
+        for job in payload["jobs"].get("pending", ()):
+            for field, types in (
+                ("job_id", (int,)), ("submitted_at_op", (int,)),
+                ("num_tokens", (int,)), ("degraded", (bool,)),
+                ("result", (list,)),
+            ):
+                _require(job, field, types, "pending job")
+        return payload
+
+
+#: Schema plugin point: ``"v<version>" -> format class`` (the same
+#: pattern as :data:`repro.trace.TRACE_FORMATS`).
+PERSIST_FORMATS = Registry("persist format", {"v1": PersistFormatV1})
+
+
+def format_for_version(version):
+    """Look up the schema class serving ``version``."""
+    return PERSIST_FORMATS[f"v{version}"]
+
+
+def _canonical(payload):
+    """The canonical JSON text of ``payload`` (sorted keys, minimal
+    separators -- the repo-wide serializer contract, lint rule RPL009)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _payload_digest(payload):
+    """Digest over the canonical payload, ``digest`` field excluded."""
+    stripped = {k: v for k, v in payload.items() if k != "digest"}
+    return stable_digest(_canonical(stripped))
+
+
+class SessionState:
+    """One dehydrated session: an immutable, digest-stamped payload.
+
+    Build one with :func:`dehydrate`; apply one with
+    :func:`hydrate_processor` (or ``open_session(..., state=...)`` on
+    the facade). The payload is plain JSON data, so states survive any
+    transport that carries text.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload):
+        self.payload = payload
+
+    # -- identity -------------------------------------------------------
+    @property
+    def session_id(self):
+        return self.payload.get("session_id")
+
+    @property
+    def backend(self):
+        return self.payload.get("backend")
+
+    @property
+    def version(self):
+        return self.payload["version"]
+
+    @property
+    def num_candidates(self):
+        return len(self.payload["candidates"])
+
+    @property
+    def token_cost(self):
+        """Tokens this state holds (the store's budget currency):
+        candidate traces plus the buffered history stream."""
+        candidates = sum(
+            len(c["tokens"]) for c in self.payload["candidates"]
+        )
+        return candidates + len(self.payload["finder"]["buffer"])
+
+    # -- integrity ------------------------------------------------------
+    def stable_digest(self):
+        """Recompute the digest over the canonical payload."""
+        return _payload_digest(self.payload)
+
+    def verify(self):
+        """Check the payload's digest stamp; returns ``self``.
+
+        A tampered (or corrupted) document fails here, before any
+        hydrate interprets it.
+        """
+        recorded = self.payload.get("digest")
+        actual = self.stable_digest()
+        if recorded != actual:
+            raise PersistFormatError(
+                f"state digest mismatch: payload says {recorded}, "
+                f"contents hash to {actual}"
+            )
+        return self
+
+    # -- serialization --------------------------------------------------
+    def dumps(self):
+        """The canonical JSON text of this state (byte-stable)."""
+        return _canonical(self.payload)
+
+    @classmethod
+    def loads(cls, text):
+        """Parse, schema-check, and digest-check a state document."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PersistFormatError(
+                f"session state is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise PersistFormatError("session state must be a JSON object")
+        version = payload.get("version")
+        try:
+            schema = format_for_version(version)
+        except (KeyError, ValueError) as exc:
+            raise PersistFormatError(
+                f"no reader for state version {version!r}; "
+                f"known: {PERSIST_FORMATS.names()}"
+            ) from exc
+        schema.validate(payload)
+        return cls(payload).verify()
+
+    def dump(self, path):
+        """Write the state to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+        return path
+
+    @classmethod
+    def load(cls, path):
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.loads(fh.read())
+
+    def __repr__(self):
+        return (
+            f"SessionState({self.session_id!r}, "
+            f"candidates={self.num_candidates}, "
+            f"tokens={self.token_cost})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Dehydration
+# ----------------------------------------------------------------------
+def dehydrate(handle, session_id=None):
+    """Snapshot a live session into a :class:`SessionState`.
+
+    ``handle`` may be an :class:`~repro.core.processor.ApopheniaProcessor`,
+    a service :class:`~repro.service.service.SessionHandle`, or a
+    :class:`~repro.service.replicated.ReplicatedSessionHandle`. The
+    session is **flushed first** (buffered tasks forward untraced, the
+    match engine resets) -- a snapshot of half-buffered pending state
+    would not be a fence-consistent point to resume from. Replicated
+    handles snapshot the reference replica; replicas are byte-identical
+    by the agreement invariant, so one snapshot rehydrates all of them.
+    """
+    processors = getattr(handle, "processors", None)
+    if processors is not None:
+        for processor in getattr(handle, "live_processors", processors):
+            processor.flush()
+        reference = handle.processor
+    else:
+        reference = getattr(handle, "processor", handle)
+        reference.flush()
+    payload = _snapshot_processor(reference)
+    payload["session_id"] = (
+        session_id if session_id is not None
+        else getattr(handle, "session_id", None) or reference.session_id
+    )
+    payload["digest"] = _payload_digest(payload)
+    return SessionState(payload)
+
+
+def _snapshot_processor(processor):
+    """The v1 payload of one (flushed) processor."""
+    replayer = processor.replayer
+    store = replayer.store
+    trie = replayer.trie
+    stats = replayer.stats  # property access syncs the gauges
+    config = processor.config
+
+    candidates = [
+        {
+            "trace_id": c.trace_id,
+            "tokens": list(c.tokens),
+            "occurrences": c.occurrences,
+            "last_seen_at": c.last_seen_at,
+            "replayed": c.replayed,
+            "recorded": c.recorded,
+            "fires": c.fires,
+            "gap_tokens": c.gap_tokens,
+        }
+        for c in sorted(
+            trie.candidates.values(), key=lambda c: c.trace_id
+        )
+    ]
+    rotations = [
+        {
+            "length": key[0],
+            "rotation": list(key[1]),
+            "members": [member.trace_id for member in entry[0]],
+            "total": entry[1],
+        }
+        for key, entry in sorted(
+            store.by_rotation.items(),
+            key=lambda item: (item[0][0], item[0][1]),
+        )
+    ]
+
+    finder = processor.finder
+    sampler = finder.sampler
+    executor = processor.executor
+    pending = []
+    for job in finder.pending_jobs:
+        # Lane-scheduled jobs may still be queued unmined; accessing
+        # ``result`` forces the work now, so the snapshot carries real
+        # mined repeats (results are pure functions of the window --
+        # forcing is decision-neutral).
+        result = job.result
+        pending.append({
+            "job_id": job.job_id,
+            "submitted_at_op": job.submitted_at_op,
+            "num_tokens": job.num_tokens,
+            "degraded": job.degraded,
+            "result": [
+                [list(r.tokens), list(r.positions)] for r in result
+            ],
+        })
+
+    coordinator = processor.coordinator
+    coordinator_state = None
+    if coordinator is not None:
+        agreed = []
+        for job in finder.pending_jobs:
+            point = coordinator._agreed.get(
+                (processor.stream_key, job.job_id)
+            )
+            if point is not None:
+                agreed.append([job.job_id, point])
+        coordinator_state = {
+            "margin_ops": coordinator.margin_ops,
+            "waits": coordinator.waits,
+            "agreed": agreed,
+        }
+
+    # A deferral can survive the dehydrate fence: flush_all fires the
+    # held match, but the pending-tail reprocess inside that fire may
+    # complete and hold a new one. Its candidate is in the trie, so it
+    # snapshots by id.
+    deferred = replayer.deferred
+    deferred_state = None
+    if deferred is not None:
+        deferred_state = {
+            "candidate": deferred.candidate.trace_id,
+            "start_index": deferred.start_index,
+            "end_index": deferred.end_index,
+        }
+
+    last_fired = store.last_fired
+    return {
+        "format": FORMAT_NAME,
+        "version": PersistFormatV1.version,
+        "session_id": None,  # stamped by dehydrate()
+        "backend": processor.backend_kind,
+        "config": {
+            name: getattr(config, name) for name in DECISION_CONFIG_FIELDS
+        },
+        "candidates": candidates,
+        "next_candidate_id": trie._next_id,
+        "rotations": rotations,
+        "replayer": {
+            "stream_index": replayer.stream_index,
+            "flushed_since_fire": store.flushed_since_fire,
+            "last_fired": (
+                last_fired.trace_id if last_fired is not None else None
+            ),
+            "candidates_evicted": store.candidates_evicted,
+            "deferred": deferred_state,
+            "counters": {
+                name: getattr(stats, name) for name in _REPLAYER_COUNTERS
+            },
+        },
+        "gauges": {
+            "active_pointer_peak": stats.active_pointer_peak,
+            "pointer_collapses": stats.pointer_collapses,
+            "hysteresis_suppressed": stats.hysteresis_suppressed,
+        },
+        "finder": {
+            "buffer": list(finder.buffer),
+            "ops_observed": finder.ops_observed,
+            "sampler": {
+                "arrivals": sampler._arrivals,
+                "trigger": sampler._trigger,
+            },
+        },
+        "jobs": {
+            "next_job_id": executor.jobs_submitted,
+            "counters": {
+                name: getattr(executor, name, 0)
+                for name in _EXECUTOR_COUNTERS
+            },
+            "pending": pending,
+        },
+        "coordinator": coordinator_state,
+        "trace_log": [
+            [list(trace_id), length]
+            for trace_id, length in processor.trace_log
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
+# Hydration
+# ----------------------------------------------------------------------
+def hydrate_processor(processor, state):
+    """Restore a dehydrated session onto a freshly built processor.
+
+    The processor must be *fresh* (no tasks served) and built from a
+    config whose decision-relevant slice matches the state's -- both are
+    checked. Replicated backends call this once per node replica with
+    the same state: per-node job completion times are recomputed from
+    the node's own id (:func:`~repro.core.jobs.completion_op`), and the
+    shared coordinator restore is idempotent.
+    """
+    if isinstance(state, SessionState):
+        payload = state.payload
+    else:
+        payload = PersistFormatV1.validate(state)
+    if processor.replayer.stream_index != 0 or processor.finder.ops_observed:
+        raise PersistFormatError(
+            "hydrate target must be a fresh processor (it has already "
+            "served tasks)"
+        )
+    config = processor.config
+    for name in DECISION_CONFIG_FIELDS:
+        recorded = payload["config"].get(name, _MISSING)
+        if recorded is not _MISSING and recorded != getattr(config, name):
+            raise PersistFormatError(
+                f"state was captured under {name}={recorded!r} but the "
+                f"session runs {name}={getattr(config, name)!r}; learned "
+                "state is only valid under the schedule that produced it"
+            )
+
+    replayer = processor.replayer
+    store = replayer.store
+    engine = replayer.engine
+    trie = replayer.trie
+
+    # Candidates, with their exact historical trace ids: ids feed trace
+    # identities and scoring tie-breaks, and eviction may have left
+    # gaps, so each insert pins the id counter first.
+    for record in payload["candidates"]:
+        trie._next_id = record["trace_id"]
+        candidate = engine.insert(tuple(record["tokens"]))
+        candidate.occurrences = record["occurrences"]
+        candidate.last_seen_at = record["last_seen_at"]
+        candidate.replayed = record["replayed"]
+        candidate.recorded = record["recorded"]
+        candidate.fires = record["fires"]
+        candidate.gap_tokens = record["gap_tokens"]
+    trie._next_id = payload["next_candidate_id"]
+
+    store.by_rotation = {
+        (entry["length"], tuple(entry["rotation"])): [
+            [trie.candidates[member] for member in entry["members"]],
+            entry["total"],
+        ]
+        for entry in payload["rotations"]
+    }
+    rep = payload["replayer"]
+    last_fired = rep["last_fired"]
+    store.last_fired = (
+        trie.candidates[last_fired] if last_fired is not None else None
+    )
+    store.flushed_since_fire = rep["flushed_since_fire"]
+    store.candidates_evicted = rep["candidates_evicted"]
+    replayer.stream_index = rep["stream_index"]
+    deferred = rep.get("deferred")
+    if deferred is not None:
+        candidate = trie.candidates[deferred["candidate"]]
+        # The match's completion node is the candidate's terminal trie
+        # node (worth_waiting reads its max_below); recover it by walk.
+        node = trie.root
+        for token in candidate.tokens:
+            node = node.children[token]
+        replayer.deferred = CompletedMatch(
+            candidate,
+            deferred["start_index"],
+            deferred["end_index"],
+            node,
+        )
+    for name, value in rep["counters"].items():
+        setattr(replayer._stats, name, value)
+
+    gauges = payload["gauges"]
+    engine.active_pointer_peak = gauges["active_pointer_peak"]
+    engine.pointer_collapses = gauges["pointer_collapses"]
+    replayer.policy.hysteresis_suppressed = gauges["hysteresis_suppressed"]
+
+    finder = processor.finder
+    fin = payload["finder"]
+    finder.buffer = deque(fin["buffer"], maxlen=finder.batchsize)
+    finder.ops_observed = fin["ops_observed"]
+    finder.sampler._arrivals = fin["sampler"]["arrivals"]
+    finder.sampler._trigger = fin["sampler"]["trigger"]
+
+    executor = processor.executor
+    jobs = payload["jobs"]
+    executor._ids = itertools.count(jobs["next_job_id"])
+    for name, value in jobs["counters"].items():
+        if hasattr(executor, name):
+            setattr(executor, name, value)
+    finder.pending_jobs = deque(
+        AnalysisJob(
+            job["job_id"],
+            job["submitted_at_op"],
+            # Recomputed, not recorded: completion times carry per-node
+            # jitter, so each replica derives its own from its node id
+            # -- exactly the value its uninterrupted run would hold.
+            completion_op(
+                job["submitted_at_op"],
+                job["num_tokens"],
+                config.job_base_latency_ops,
+                config.job_per_token_latency_ops,
+                processor.node_id,
+                job["job_id"],
+            ),
+            job["num_tokens"],
+            result=[
+                Repeat(tuple(tokens), tuple(positions))
+                for tokens, positions in job["result"]
+            ],
+            degraded=job["degraded"],
+        )
+        for job in jobs["pending"]
+    )
+
+    coordinator = processor.coordinator
+    restored = payload["coordinator"]
+    if coordinator is not None and restored is not None:
+        # Idempotent across the replica set: plain assignments and
+        # keyed dict writes land on the same values for every node.
+        coordinator.margin_ops = max(
+            coordinator.margin_ops, restored["margin_ops"]
+        )
+        coordinator.waits = max(coordinator.waits, restored["waits"])
+        for job_id, point in restored["agreed"]:
+            key = (processor.stream_key, job_id)
+            if key not in coordinator._agreed:
+                coordinator._agreed[key] = point
+                coordinator.agreements_issued += 1
+
+    processor.trace_log = [
+        (tuple(trace_id), length)
+        for trace_id, length in payload["trace_log"]
+    ]
+    return processor
+
+
+__all__ = [
+    "DECISION_CONFIG_FIELDS",
+    "FORMAT_NAME",
+    "PERSIST_FORMATS",
+    "PersistFormatError",
+    "PersistFormatV1",
+    "SessionState",
+    "dehydrate",
+    "format_for_version",
+    "hydrate_processor",
+]

@@ -25,6 +25,8 @@ SUMMED_KEYS = (
     "degraded_jobs",
     "deadline_overruns",
     "quarantined",
+    "candidates_evicted",
+    "warm_starts",
 )
 
 
@@ -33,7 +35,7 @@ class RetiredCounters:
 
     __slots__ = ("jobs", "memo_hits", "pointer_peak", "collapses",
                  "suppressed", "mining_failures", "degraded_jobs",
-                 "deadline_overruns")
+                 "deadline_overruns", "candidates_evicted", "warm_starts")
 
     def __init__(self):
         self.jobs = 0
@@ -44,6 +46,8 @@ class RetiredCounters:
         self.mining_failures = 0
         self.degraded_jobs = 0
         self.deadline_overruns = 0
+        self.candidates_evicted = 0
+        self.warm_starts = 0
 
     def absorb(self, processor):
         """Fold a closing session's processor into the lifetime record."""
@@ -59,6 +63,8 @@ class RetiredCounters:
         )
         self.collapses += replayer_stats.pointer_collapses
         self.suppressed += replayer_stats.hysteresis_suppressed
+        self.candidates_evicted += replayer_stats.candidates_evicted
+        self.warm_starts += getattr(processor, "warm_starts", 0)
 
     def seed_totals(self):
         """The retired share of a ``backend_stats`` totals dict."""
@@ -74,6 +80,9 @@ class RetiredCounters:
             "degraded_jobs": self.degraded_jobs,
             "deadline_overruns": self.deadline_overruns,
             "quarantined": 0,  # gauge: closed sessions are not quarantined
+            "candidates_evicted": self.candidates_evicted,
+            "warm_starts": self.warm_starts,
+            "states_held": 0,  # gauge: only the service runs a spill tier
         }
 
 

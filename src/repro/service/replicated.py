@@ -51,6 +51,7 @@ from repro.core.processor import (
 )
 from repro.errors import SessionClosedError
 from repro.faults import NULL_FAULT_PLAN, resolve_fault_plan
+from repro.persist import hydrate_processor
 from repro.runtime.session import RuntimeSessionFactory
 from repro.service.aggregates import (
     RetiredCounters,
@@ -310,7 +311,7 @@ class ReplicatedBackend:
     # Session lifecycle
     # ------------------------------------------------------------------
     def open_session(self, session_id, runtime=None, config=None, node_id=0,
-                     priority=0, runtimes=None, coordinator=None):
+                     priority=0, runtimes=None, coordinator=None, state=None):
         """Admit a session served by N node replicas.
 
         ``config`` overrides the per-session configuration, including
@@ -321,6 +322,14 @@ class ReplicatedBackend:
         injects one caller-owned runtime per node (the replication
         harness uses this); ``coordinator`` injects a shared agreement
         object for deployments running one collective across sessions.
+
+        ``state`` warm-starts the session from a
+        :class:`~repro.persist.SessionState`: every node replica hydrates
+        from the same snapshot, so the replica set resumes with
+        byte-identical learned state -- the agreement invariant holds
+        from the first post-restore task. (Coordinator margins in the
+        snapshot restore idempotently, so N applications of one state
+        equal one.)
         """
         if session_id in self.sessions:
             raise ValueError(f"session {session_id!r} already open")
@@ -412,6 +421,13 @@ class ReplicatedBackend:
                 )
             processors.append(processor)
         processors[0].open_session(session_id)
+        if state is not None:
+            # Every replica hydrates from the same snapshot; the
+            # coordinator is shared, and the snapshot's coordinator
+            # restore is idempotent, so N applications equal one.
+            for processor in processors:
+                hydrate_processor(processor, state)
+                processor.warm_starts += 1
         handle = ReplicatedSessionHandle(
             session_id, self, processors, runtimes, coordinator,
             owns_runtimes, faults=faults,

@@ -21,8 +21,12 @@ per-session         hasher, finder (history buffer + op clock), replayer
 
 Sessions are evicted least-recently-used when ``max_sessions`` is
 exceeded; eviction flushes the victim's buffered tasks first, so no task
-is ever dropped -- an evicted tenant merely loses its learned candidates,
-exactly as if its application had restarted.
+is ever dropped. With ``session_state_budget`` set, eviction no longer
+*forgets* either: the victim is dehydrated into a token-budgeted
+:class:`~repro.persist.SessionStateStore` and re-admission hydrates, so
+an evicted tenant warm-starts at its learned steady state instead of
+re-mining from scratch. Without the budget (the default) eviction keeps
+the historical behaviour -- the tenant restarts cold.
 """
 
 from repro.core.processor import (
@@ -31,6 +35,7 @@ from repro.core.processor import (
     _resolve_repeats_algorithm,
 )
 from repro.errors import SessionClosedError
+from repro.persist import SessionStateStore, dehydrate, hydrate_processor
 from repro.runtime.session import RuntimeSessionFactory
 from repro.service.executor import SharedJobExecutor
 
@@ -148,12 +153,19 @@ class ApopheniaService:
         self._tick = 0  # monotonic use counter backing LRU eviction
         self.sessions_opened = 0
         self.sessions_evicted = 0
+        # Evict-without-forgetting spill tier (None: forget on evict,
+        # the historical behaviour).
+        self.state_store = (
+            SessionStateStore(token_budget=self.config.session_state_budget)
+            if self.config.session_state_budget is not None else None
+        )
+        self.warm_starts = 0
 
     # ------------------------------------------------------------------
     # Session lifecycle
     # ------------------------------------------------------------------
     def open_session(self, session_id, runtime=None, config=None, node_id=0,
-                     priority=0):
+                     priority=0, state=None):
         """Admit a tenant; returns its :class:`SessionHandle`.
 
         ``config`` overrides the per-session Apophenia configuration
@@ -161,6 +173,12 @@ class ApopheniaService:
         service-level knobs and mining algorithm always come from the
         service's own config. Admitting a session beyond ``max_sessions``
         evicts the least-recently-used tenant first.
+
+        ``state`` warm-starts the session from an explicit
+        :class:`~repro.persist.SessionState`. When it is ``None`` and
+        the spill tier holds a state for this ``session_id`` (the tenant
+        was LRU-evicted earlier), that state is popped and applied --
+        re-admission transparently resumes the learned steady state.
         """
         if session_id in self.sessions:
             raise ValueError(f"session {session_id!r} already open")
@@ -185,6 +203,12 @@ class ApopheniaService:
             # Factory-tracked handles expose the session's replay-engine
             # counters (RuntimeHandle.serving_stats).
             self.runtime_factory.bind_processor(session_id, processor)
+        if state is None and self.state_store is not None:
+            state = self.state_store.pop(session_id)
+        if state is not None:
+            hydrate_processor(processor, state)
+            processor.warm_starts += 1
+            self.warm_starts += 1
         session = SessionHandle(session_id, self, processor, runtime, lane,
                                 owns_runtime)
         self._tick += 1
@@ -224,6 +248,12 @@ class ApopheniaService:
         victim_id = min(
             self.sessions, key=lambda sid: self.sessions[sid].last_used
         )
+        if self.state_store is not None:
+            # Dehydrate BEFORE close_session: dehydrate flushes the
+            # victim itself, and teardown releases the lane the snapshot
+            # still needs to read pending-job state from.
+            state = dehydrate(self.sessions[victim_id], session_id=victim_id)
+            self.state_store.put(victim_id, state)
         self.close_session(victim_id)
         self.sessions_evicted += 1
 
@@ -313,6 +343,18 @@ class ApopheniaService:
             pointer_collapses=sum(r.pointer_collapses for r in replayers),
             hysteresis_suppressed=sum(
                 r.hysteresis_suppressed for r in replayers
+            ),
+            candidates_evicted=sum(
+                r.candidates_evicted for r in replayers
+            ),
+            warm_starts=self.warm_starts,
+            states_held=(
+                self.state_store.states_held
+                if self.state_store is not None else 0
+            ),
+            state_tokens_held=(
+                self.state_store.tokens_held
+                if self.state_store is not None else 0
             ),
         )
         return stats

@@ -399,7 +399,8 @@ class TestRegistries:
         registries = api.registries()
         assert set(registries) == {
             "tracing_backends", "config_profiles", "sa_backends", "apps",
-            "fault_plans", "trace_formats", "phase_graphs",
+            "fault_plans", "trace_formats", "persist_formats",
+            "phase_graphs",
         }
         for registry in registries.values():
             assert isinstance(registry, Registry)

@@ -41,10 +41,13 @@ REPRO_API_ALL = [
     "NullFaultPlan",
     "PROFILES",
     "PROFILE_ENV_VAR",
+    "PersistFormatError",
     "ReplicatedBackend",
     "Session",
     "SessionClosedError",
     "SessionSnapshot",
+    "SessionState",
+    "SessionStateStore",
     "SessionStats",
     "StandaloneBackend",
     "TRACING_BACKENDS",

@@ -350,6 +350,58 @@ class TestSetIterationRule:
         """, path=EXPERIMENTS)
 
 
+class TestCanonicalJsonRule:
+    #: A synthetic serializer module: RPL009's scope is path-based.
+    PERSIST = "src/repro/persist/fixture.py"
+
+    def test_bare_dumps_in_serializer_fires(self):
+        v = assert_fires("RPL009", """\
+            import json
+
+            def dumps(payload):
+                return json.dumps(payload)
+        """, path=self.PERSIST)
+        assert "sort_keys=True" in v.message
+        assert "separators" in v.message
+
+    def test_sorted_but_default_separators_fires(self):
+        # Default separators insert spaces -- not byte-stable against
+        # the canonical form the digests are computed over.
+        assert_fires("RPL009", """\
+            import json
+
+            def dumps(payload):
+                return json.dumps(payload, sort_keys=True)
+        """, path=self.PERSIST)
+
+    def test_clean_twin_canonical_call(self):
+        assert_clean("RPL009", """\
+            import json
+
+            def dumps(payload):
+                return json.dumps(
+                    payload, sort_keys=True, separators=(",", ":"),
+                )
+        """, path=self.PERSIST)
+
+    def test_json_dump_to_file_also_covered(self):
+        assert_fires("RPL009", """\
+            import json
+
+            def dump(payload, fh):
+                json.dump(payload, fh, sort_keys=True)
+        """, path="src/repro/trace/fixture.py")
+
+    def test_exempt_outside_serializer_packages(self):
+        # Report/debug JSON elsewhere is not digest-compared by byte.
+        assert_clean("RPL009", """\
+            import json
+
+            def report(payload):
+                return json.dumps(payload, indent=2)
+        """, path=CORE)
+
+
 class TestPragmas:
     HAZARD = """\
         def token(task):
@@ -516,10 +568,11 @@ class TestCli:
 
 
 class TestRuleRegistry:
-    def test_eight_rules_registered(self):
+    def test_nine_rules_registered(self):
         assert LINT_RULES.names() == [
             "RPL001", "RPL002", "RPL003", "RPL004",
             "RPL005", "RPL006", "RPL007", "RPL008",
+            "RPL009",
         ]
 
     def test_every_rule_documents_itself(self):

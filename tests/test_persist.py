@@ -1,0 +1,499 @@
+"""The session-persistence property suite (``persist`` marker).
+
+The headline property of the evict-without-forgetting work: a session
+dehydrated at a flush fence and hydrated into a fresh backend produces a
+subsequent decision stream **byte-identical** to a session that was
+never evicted -- per application, on all three backends. Around it: the
+canonical-serialization contract (``loads(dumps())`` round-trips to the
+same bytes), digest tamper detection, deterministic eviction under the
+candidate-lifecycle knobs, the ``remove_candidate`` / in-flight-serving
+reconciliation under both match engines, the ``submit_many`` batch
+helper's decision-neutrality, and the service's evict-then-readmit warm
+start through the token-budgeted spill store.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    PersistFormatError,
+    SessionClosedError,
+    SessionState,
+    SessionStateStore,
+    open_session,
+)
+from repro.core.processor import ApopheniaConfig, ApopheniaProcessor
+from repro.core.repeats import Repeat
+from repro.core.replayer import TraceReplayer
+from repro.experiments.multi_tenant import capture_stream
+from repro.persist import dehydrate, hydrate_processor
+from repro.runtime.runtime import Runtime
+from repro.service import ApopheniaService
+
+pytestmark = pytest.mark.persist
+
+#: Same sizing as the api/service suites: small enough for tier-1,
+#: large enough to mine candidates and fire traces on both stream halves.
+FAST_CONFIG = ApopheniaConfig(
+    min_trace_length=3,
+    batchsize=200,
+    multi_scale_factor=25,
+    job_base_latency_ops=10,
+    initial_ingest_margin_ops=20,
+)
+
+#: Replicated runs reuse the fast sizing so hydrate parity is checked
+#: under real (if quick) agreement-protocol work.
+REPLICATED_CONFIG = FAST_CONFIG.with_overrides(num_nodes=3)
+
+PARITY_APPS = ("s3d", "stencil", "jacobi", "cfd", "generative")
+
+BACKENDS = ("standalone", "service", "replicated")
+
+#: The dehydrate fence sits mid-stream: both halves must be long enough
+#: to mine and fire, or "parity" would be vacuous.
+SPLIT = 350
+
+
+@pytest.fixture(scope="module")
+def app_streams():
+    """One small captured stream per application type."""
+    return {
+        name: capture_stream(name, 700, task_scale=0.05)
+        for name in PARITY_APPS
+    }
+
+
+def _fast_runtime():
+    return Runtime(
+        analysis_mode="fast", mismatch_policy="fallback", keep_task_log=False
+    )
+
+
+def _open(backend, session_id, state=None):
+    """One session on the named backend, optionally warm-started."""
+    if backend == "standalone":
+        return open_session(
+            session_id, config=FAST_CONFIG, runtime=_fast_runtime(),
+            state=state,
+        )
+    if backend == "service":
+        return open_session(
+            session_id, backend=ApopheniaService(FAST_CONFIG), state=state
+        )
+    return open_session(
+        session_id, backend="replicated", config=REPLICATED_CONFIG,
+        state=state,
+    )
+
+
+def _drive(session, stream):
+    for iteration, task in stream:
+        session.set_iteration(iteration)
+        session.submit(task)
+
+
+def _uninterrupted(backend, app_name, stream):
+    """Run A: one session across both halves, flushed at the fence."""
+    with _open(backend, app_name) as session:
+        _drive(session, stream[:SPLIT])
+        session.flush()
+        _drive(session, stream[SPLIT:])
+        session.flush()
+        return session.snapshot()
+
+
+def _evicted_and_rehydrated(backend, app_name, stream):
+    """Run B: dehydrate at the fence, resume on a *fresh* backend."""
+    with _open(backend, app_name) as session:
+        _drive(session, stream[:SPLIT])
+        state = session.dehydrate()  # flushes: the same fence as run A
+    blob = state.dumps()
+    restored = SessionState.loads(blob)
+    with _open(backend, app_name, state=restored) as session:
+        _drive(session, stream[SPLIT:])
+        session.flush()
+        stats = session.stats()
+        handle = session.handle
+        snapshot = session.snapshot()
+    return snapshot, stats, blob, handle
+
+
+class TestWarmStartParity:
+    """The acceptance property: eviction no longer forgets."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("app_name", PARITY_APPS)
+    def test_hydrated_decisions_match_uninterrupted(
+        self, app_streams, backend, app_name
+    ):
+        stream = app_streams[app_name]
+        uninterrupted = _uninterrupted(backend, app_name, stream)
+        hydrated, stats, _, handle = _evicted_and_rehydrated(
+            backend, app_name, stream
+        )
+        assert hydrated.decisions == uninterrupted.decisions
+        assert uninterrupted.decision_trace, app_name  # traces really fired
+        assert stats.warm_starts == 1
+        if backend == "replicated":
+            assert handle.decisions_agree(), handle.decision_traces()
+
+
+class TestRoundTripByteStability:
+    """``loads(dumps())`` is the identity on bytes, per backend."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_state_round_trips_byte_identically(self, app_streams, backend):
+        _, _, blob, _ = _evicted_and_rehydrated(
+            backend, "s3d", app_streams["s3d"]
+        )
+        state = SessionState.loads(blob)
+        assert state.dumps() == blob
+        assert SessionState.loads(state.dumps()).dumps() == blob
+        assert state.verify() is state
+        assert state.payload["digest"] == state.stable_digest()
+
+    def test_dump_load_file_round_trip(self, app_streams, tmp_path):
+        with _open("standalone", "s3d") as session:
+            _drive(session, app_streams["s3d"][:SPLIT])
+            state = session.dehydrate()
+        path = state.dump(tmp_path / "s3d.state.json")
+        assert SessionState.load(path).dumps() == state.dumps()
+
+
+class TestDigestTamperDetection:
+    def _state(self, app_streams):
+        with _open("standalone", "s3d") as session:
+            _drive(session, app_streams["s3d"][:SPLIT])
+            return session.dehydrate()
+
+    def test_tampered_payload_fails_loads(self, app_streams):
+        payload = json.loads(self._state(app_streams).dumps())
+        payload["replayer"]["counters"]["tasks_seen"] += 1
+        with pytest.raises(PersistFormatError, match="digest"):
+            SessionState.loads(json.dumps(payload))
+
+    def test_tampered_candidate_fails_verify(self, app_streams):
+        state = self._state(app_streams)
+        state.payload["candidates"][0]["occurrences"] += 1
+        with pytest.raises(PersistFormatError, match="digest"):
+            state.verify()
+
+    def test_missing_field_rejected(self, app_streams):
+        payload = json.loads(self._state(app_streams).dumps())
+        del payload["rotations"]
+        with pytest.raises(PersistFormatError, match="rotations"):
+            SessionState.loads(json.dumps(payload))
+
+    def test_unknown_version_rejected(self, app_streams):
+        payload = json.loads(self._state(app_streams).dumps())
+        payload["version"] = 99
+        with pytest.raises(PersistFormatError, match="version"):
+            SessionState.loads(json.dumps(payload))
+
+    def test_non_json_rejected(self):
+        with pytest.raises(PersistFormatError, match="JSON"):
+            SessionState.loads("not a document")
+
+
+class TestEvictionDeterminism:
+    """The lifecycle knobs evict by intrinsic rank: two identical runs
+    evict identically, and generous bounds change nothing at all."""
+
+    def _run(self, stream, config):
+        processor = ApopheniaProcessor(_fast_runtime(), config)
+        for iteration, task in stream:
+            processor.set_iteration(iteration)
+            processor.execute_task(task)
+        processor.flush()
+        replayer = processor.replayer
+        survivors = sorted(
+            (c.trace_id, c.tokens)
+            for c in replayer.trie.candidates.values()
+        )
+        return (
+            processor.decision_trace(),
+            replayer.stats.candidates_evicted,
+            survivors,
+        )
+
+    def test_capacity_eviction_is_deterministic(self, app_streams):
+        config = FAST_CONFIG.with_overrides(max_candidates=2)
+        stream = app_streams["s3d"]
+        first = self._run(stream, config)
+        second = self._run(stream, config)
+        assert first == second
+        assert first[1] > 0  # the bound actually bit
+        assert len(first[2]) <= 2
+
+    def test_staleness_eviction_is_deterministic(self, app_streams):
+        config = FAST_CONFIG.with_overrides(candidate_staleness_horizon=150)
+        stream = app_streams["stencil"]
+        assert self._run(stream, config) == self._run(stream, config)
+
+    def test_generous_bounds_are_decision_neutral(self, app_streams):
+        stream = app_streams["s3d"]
+        baseline = self._run(stream, FAST_CONFIG)
+        bounded = self._run(
+            stream,
+            FAST_CONFIG.with_overrides(
+                max_candidates=10**6, candidate_staleness_horizon=10**9
+            ),
+        )
+        assert bounded[0] == baseline[0]
+        assert bounded[1] == 0
+        assert bounded[2] == baseline[2]
+
+
+@pytest.mark.parametrize("engine", ["scan", "automaton"])
+class TestRemoveCandidateReconciliation:
+    """Satellite audit: exact removal vs in-flight serving state, under
+    both match engines."""
+
+    class Harness:
+        def __init__(self, engine, **kwargs):
+            self.forwarded = []
+            self.traces = []
+            self.replayer = TraceReplayer(
+                on_flush=self.forwarded.extend,
+                on_trace=lambda c, i, tasks: (
+                    self.traces.append(c.tokens),
+                    self.forwarded.extend(tasks),
+                ),
+                match_engine=engine,
+                **kwargs,
+            )
+
+        def feed(self, tokens):
+            for i, token in enumerate(
+                tokens, start=self.replayer.stream_index
+            ):
+                self.replayer.process((i, token), token)
+
+    def test_removing_deferred_candidate_drops_the_hold(self, engine):
+        h = self.Harness(engine, min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 5]), Repeat("abcd", [0, 10])])
+        h.feed("ab")  # 'ab' completes and defers, hoping for 'abcd'
+        deferred = h.replayer.deferred
+        assert deferred is not None
+        assert h.replayer.remove_candidate(deferred.candidate)
+        # Committing the hold later would issue a trace for a ghost id
+        # and re-walk a detached trie node; removal reconciles it away.
+        assert h.replayer.deferred is None
+        h.feed("xx")
+        h.replayer.flush_all()
+        assert ("a", "b") not in h.traces
+        assert [t[0] for t in h.forwarded] == [0, 1, 2, 3]
+
+    def test_removing_other_candidate_keeps_the_hold(self, engine):
+        h = self.Harness(engine, min_trace_length=2)
+        h.replayer.ingest([
+            Repeat("ab", [0, 5]), Repeat("abcd", [0, 10]),
+            Repeat("xy", [0, 5]),
+        ])
+        h.feed("ab")
+        assert h.replayer.deferred is not None
+        bystander = next(
+            c for c in h.replayer.trie.candidates.values()
+            if c.tokens == ("x", "y")
+        )
+        assert h.replayer.remove_candidate(bystander)
+        assert h.replayer.deferred is not None  # unrelated removal
+        h.replayer.flush_all()
+        assert ("a", "b") in h.traces
+
+    def test_removal_mid_partial_match_serves_cleanly(self, engine):
+        h = self.Harness(engine, min_trace_length=3)
+        h.replayer.ingest([Repeat("abc", [0, 3])])
+        candidate = next(iter(h.replayer.trie.candidates.values()))
+        h.feed("ab")  # a live partial match points into the candidate
+        assert h.replayer.remove_candidate(candidate)
+        h.feed("cabc")
+        h.replayer.flush_all()
+        assert not h.traces
+        assert [t[0] for t in h.forwarded] == list(range(6))
+
+    def test_double_removal_is_false(self, engine):
+        h = self.Harness(engine, min_trace_length=2)
+        h.replayer.ingest([Repeat("ab", [0, 2])])
+        candidate = next(iter(h.replayer.trie.candidates.values()))
+        assert h.replayer.remove_candidate(candidate)
+        assert not h.replayer.remove_candidate(candidate)
+
+
+class TestSubmitMany:
+    """The batch helper is sugar, not semantics."""
+
+    def test_parity_with_submit_loop(self, app_streams):
+        tasks = [task for _, task in app_streams["jacobi"]]
+        with _open("standalone", "loop") as session:
+            for task in tasks:
+                session.submit(task)
+            session.flush()
+            looped = session.snapshot()
+        with _open("standalone", "batch") as session:
+            submitted = session.submit_many(tasks)
+            session.flush()
+            batched = session.snapshot()
+        assert submitted == len(tasks)
+        assert batched.decisions == looped.decisions
+
+    def test_accepts_any_iterable(self):
+        with _open("standalone", "gen") as session:
+            assert session.submit_many(iter([])) == 0
+
+    def test_closed_session_raises(self):
+        session = _open("standalone", "closed")
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.submit_many([object()])
+        with pytest.raises(SessionClosedError):
+            session.dehydrate()
+
+
+class TestServiceEvictReadmit:
+    """LRU eviction spills into the state store; re-admission warm-starts."""
+
+    def _service(self, budget):
+        return ApopheniaService(
+            FAST_CONFIG.with_overrides(
+                max_sessions=1, session_state_budget=budget
+            )
+        )
+
+    def test_evicted_tenant_resumes_byte_identically(self, app_streams):
+        stream = app_streams["s3d"]
+        service = self._service(budget=100_000)
+        first = open_session("s3d", backend=service)
+        _drive(first, stream[:SPLIT])
+        first.flush()
+        # A second tenant evicts s3d: dehydrated into the spill store,
+        # not forgotten.
+        other = open_session("stencil", backend=service)
+        assert service.sessions_evicted == 1
+        assert service.state_store.states_held == 1
+        assert "s3d" in service.state_store
+        # Re-admission pops the state and warm-starts (and stencil is
+        # spilled in turn -- capacity is still one).
+        resumed = open_session("s3d", backend=service)
+        assert service.warm_starts == 1
+        assert "s3d" not in service.state_store
+        assert "stencil" in service.state_store
+        # The learned trie is back before any new task arrives.
+        assert resumed.handle.processor.replayer.trie.candidates
+        _drive(resumed, stream[SPLIT:])
+        resumed.flush()
+        snapshot = resumed.snapshot()
+        assert resumed.stats().warm_starts == 1
+        resumed.close()
+        other.close()
+        # Byte-identical to a tenant that was never evicted.
+        twin = _uninterrupted("service", "s3d", stream)
+        assert snapshot.decisions == twin.decisions
+
+    def test_oversize_state_is_rejected_and_restart_is_cold(
+        self, app_streams
+    ):
+        stream = app_streams["s3d"]
+        service = self._service(budget=10)  # nothing fits
+        first = open_session("s3d", backend=service)
+        _drive(first, stream[:SPLIT])
+        open_session("stencil", backend=service)
+        assert service.sessions_evicted == 1
+        assert service.state_store.states_held == 0
+        assert service.state_store.oversize_rejections == 1
+        resumed = open_session("s3d", backend=service)
+        assert service.warm_starts == 0
+        assert not resumed.handle.processor.replayer.trie.candidates
+
+    def test_stats_surface_gauges(self, app_streams):
+        service = self._service(budget=100_000)
+        session = open_session("s3d", backend=service)
+        _drive(session, app_streams["s3d"][:SPLIT])
+        open_session("stencil", backend=service)
+        stats = service.stats
+        assert stats["states_held"] == 1
+        assert stats["state_tokens_held"] > 0
+        assert stats["warm_starts"] == 0
+
+
+class _StubState:
+    def __init__(self, token_cost):
+        self.token_cost = token_cost
+
+
+class TestSessionStateStore:
+    def test_lru_eviction_respects_budget(self):
+        store = SessionStateStore(token_budget=100)
+        store.put("a", _StubState(60))
+        store.put("b", _StubState(50))  # evicts a (60 + 50 > 100)
+        assert "a" not in store
+        assert "b" in store
+        assert store.tokens_held == 50
+        assert store.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        store = SessionStateStore(token_budget=100)
+        store.put("a", _StubState(40))
+        store.put("b", _StubState(40))
+        assert store.get("a") is not None  # a becomes most-recent
+        store.put("c", _StubState(40))  # b, not a, is evicted
+        assert "a" in store
+        assert "b" not in store
+
+    def test_restore_releases_tokens(self):
+        store = SessionStateStore(token_budget=100)
+        store.put("a", _StubState(70))
+        assert store.pop("a").token_cost == 70
+        assert store.tokens_held == 0
+        assert store.pop("a") is None
+        assert store.states_restored == 1
+
+    def test_replacement_releases_old_cost(self):
+        store = SessionStateStore(token_budget=100)
+        store.put("a", _StubState(70))
+        store.put("a", _StubState(20))
+        assert store.tokens_held == 20
+        assert len(store) == 1
+
+    def test_unbounded_store_never_evicts(self):
+        store = SessionStateStore(token_budget=None)
+        for i in range(50):
+            store.put(f"s{i}", _StubState(1000))
+        assert store.states_held == 50
+        assert store.evictions == 0
+
+
+class TestHydrateGuards:
+    def _state(self, app_streams):
+        with _open("standalone", "s3d") as session:
+            _drive(session, app_streams["s3d"][:SPLIT])
+            return session.dehydrate()
+
+    def test_config_mismatch_rejected(self, app_streams):
+        state = self._state(app_streams)
+        mismatched = ApopheniaProcessor(
+            _fast_runtime(), FAST_CONFIG.with_overrides(min_trace_length=5)
+        )
+        with pytest.raises(PersistFormatError, match="min_trace_length"):
+            hydrate_processor(mismatched, state)
+
+    def test_non_fresh_processor_rejected(self, app_streams):
+        state = self._state(app_streams)
+        processor = ApopheniaProcessor(_fast_runtime(), FAST_CONFIG)
+        _, task = app_streams["s3d"][0]
+        processor.execute_task(task)
+        with pytest.raises(PersistFormatError, match="fresh"):
+            hydrate_processor(processor, state)
+
+    def test_dehydrate_accepts_bare_processor(self, app_streams):
+        processor = ApopheniaProcessor(_fast_runtime(), FAST_CONFIG)
+        for iteration, task in app_streams["s3d"][:SPLIT]:
+            processor.set_iteration(iteration)
+            processor.execute_task(task)
+        state = dehydrate(processor, session_id="bare")
+        assert state.session_id == "bare"
+        assert state.num_candidates == len(
+            processor.replayer.trie.candidates
+        )
